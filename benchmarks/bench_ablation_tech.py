@@ -1,0 +1,97 @@
+"""A5 — ablation: technology-parameter sensitivity of the savings.
+
+The paper's savings hinge on internal-node capacitance being a material
+share of a gate's switched capacitance.  This bench sweeps the
+diffusion-to-gate capacitance ratio and the output load, and records
+the model's best-vs-worst spread on a fixed workload.  Expectations:
+
+* savings grow with ``c_diff`` (more internal capacitance to optimise);
+* savings shrink as the external load grows (the fixed output term
+  dominates);
+* at (near-)zero diffusion capacitance reordering buys (near) nothing.
+
+This quantifies *when* transistor reordering pays — the reason the
+technique faded as interconnect/load capacitance grew relative to
+diffusion in later process generations.
+"""
+
+import pytest
+
+from repro.analysis.report import format_percent, format_table
+from repro.analysis.stats import mean, relative_reduction
+from repro.bench.suite import get_case
+from repro.core.optimizer import optimize_circuit
+from repro.core.power_model import GatePowerModel
+from repro.gates.capacitance import TechParams
+from repro.sim.stimulus import ScenarioA
+from repro.synth.mapper import map_circuit
+
+CIRCUITS = ["rca4", "mux8", "rnd_a"]
+
+
+def _spread(circuit, stats, tech, po_load=10e-15):
+    model = GatePowerModel(tech)
+    best = optimize_circuit(circuit, stats, model, objective="best",
+                            po_load=po_load)
+    worst = optimize_circuit(circuit, stats, model, objective="worst",
+                             po_load=po_load)
+    return relative_reduction(worst.power_after, best.power_after)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    items = []
+    for name in CIRCUITS:
+        circuit = map_circuit(get_case(name).network())
+        stats = ScenarioA(seed=14).input_stats(circuit.inputs)
+        items.append((name, circuit, stats))
+    return items
+
+
+def test_sensitivity_to_diffusion_capacitance(benchmark, workloads):
+    ratios = [0.02, 0.5, 1.0, 2.0]  # c_diff as multiple of the default
+
+    def sweep():
+        rows = []
+        for factor in ratios:
+            tech = TechParams(c_diff=2.0e-15 * factor)
+            spreads = [_spread(c, s, tech) for _, c, s in workloads]
+            rows.append((factor, mean(spreads)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("c_diff x", "avg spread %"),
+        [(f, format_percent(s)) for f, s in rows],
+        title="A5 - savings vs diffusion capacitance",
+    ))
+    spreads = [s for _, s in rows]
+    # Monotone growth with diffusion capacitance.
+    for lo, hi in zip(spreads, spreads[1:]):
+        assert hi >= lo - 1e-3
+    # Near-zero diffusion: reordering buys almost nothing.
+    assert spreads[0] < 0.25 * spreads[-1] + 1e-3
+
+
+def test_sensitivity_to_output_load(benchmark, workloads):
+    loads = [0.0, 10e-15, 40e-15, 160e-15]
+
+    def sweep():
+        tech = TechParams()
+        rows = []
+        for load in loads:
+            spreads = [_spread(c, s, tech, po_load=load) for _, c, s in workloads]
+            rows.append((load, mean(spreads)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("PO load (F)", "avg spread %"),
+        [(f"{l:.0e}", format_percent(s)) for l, s in rows],
+        title="A5 - savings vs primary-output load",
+    ))
+    spreads = [s for _, s in rows]
+    # Heavier external load dilutes the reordering benefit.
+    assert spreads[-1] < spreads[0]

@@ -1,0 +1,72 @@
+"""E5 — paper Figure 6 / §5.1: the two input scenarios.
+
+There is no number to match in the figure itself (it is a block
+diagram), so the reproducible claim is the *stimulus specification*:
+
+* Scenario A inputs have uniformly random P in (0,1) and D in
+  (0, 1M trans/s), realised as exponential-interval waveforms;
+* Scenario B inputs are latched, P = 0.5, D = 0.5 transitions/cycle.
+
+This bench samples both generators and verifies the waveforms actually
+deliver the advertised statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.sim.stimulus import ScenarioA, ScenarioB
+from repro.stochastic.signal import measure_waveform
+
+INPUTS = [f"x{i}" for i in range(12)]
+
+
+def test_scenario_a_statistics(benchmark):
+    scenario = ScenarioA(seed=7)
+
+    def generate():
+        stats = scenario.input_stats(INPUTS)
+        duration = 400.0 / np.mean([s.density for s in stats.values()])
+        return scenario.generate(INPUTS, duration)
+
+    stimulus = benchmark.pedantic(generate, rounds=1, iterations=1)
+    rows = []
+    for name in INPUTS:
+        spec = stimulus.stats[name]
+        meas = measure_waveform(stimulus.waveforms[name], stimulus.duration)
+        rows.append((name, f"{spec.probability:.2f}", f"{meas.probability:.2f}",
+                     f"{spec.density:.3g}", f"{meas.density:.3g}"))
+        # Measured statistics track the specification.
+        assert meas.probability == pytest.approx(spec.probability, abs=0.12)
+        assert meas.density == pytest.approx(spec.density, rel=0.25)
+    print()
+    print(format_table(("input", "P spec", "P meas", "D spec", "D meas"),
+                       rows, title="Scenario A stimulus"))
+    # The draw really spans the specified ranges.
+    probs = [stimulus.stats[n].probability for n in INPUTS]
+    densities = [stimulus.stats[n].density for n in INPUTS]
+    assert max(probs) - min(probs) > 0.3
+    assert max(densities) / max(1.0, min(densities)) > 2.0
+    assert max(densities) <= scenario.density_max
+
+
+def test_scenario_b_statistics(benchmark):
+    scenario = ScenarioB(clock_period=10e-9, seed=3)
+    cycles = 2000
+
+    stimulus = benchmark.pedantic(
+        lambda: scenario.generate(INPUTS, cycles), rounds=1, iterations=1
+    )
+    for name in INPUTS:
+        spec = stimulus.stats[name]
+        assert spec.probability == 0.5
+        assert spec.density == pytest.approx(0.5 / scenario.clock_period)
+        meas = measure_waveform(stimulus.waveforms[name], stimulus.duration)
+        # A fresh Bernoulli(1/2) per cycle: 0.5 transitions/cycle.
+        assert meas.density * scenario.clock_period == pytest.approx(0.5, abs=0.06)
+        assert meas.probability == pytest.approx(0.5, abs=0.06)
+        # Transitions happen only on clock edges.
+        _, times = stimulus.waveforms[name]
+        for t in times:
+            phase = (t / scenario.clock_period) % 1.0
+            assert min(phase, 1.0 - phase) < 1e-9

@@ -1,0 +1,54 @@
+"""Companion to §1 — the useless-transition claim.
+
+"The power consumption of useless signal transitions ... accounts for a
+large fraction of the overall dynamic power consumption of the
+circuit."  This bench quantifies that fraction on latched (Scenario B)
+workloads by diffing the delay-aware and settled simulations of each
+circuit.
+"""
+
+import pytest
+
+from repro.analysis.glitches import analyze_glitches
+from repro.analysis.report import format_percent, format_table
+from repro.analysis.stats import mean
+from repro.bench.suite import benchmark_suite
+from repro.sim.stimulus import ScenarioB
+from repro.synth.mapper import map_circuit
+
+CYCLES = 120
+
+
+@pytest.fixture(scope="module")
+def glitch_rows():
+    rows = []
+    for case in benchmark_suite("quick"):
+        network = case.network()
+        circuit = map_circuit(network)
+        stimulus = ScenarioB(seed=6).generate(circuit.inputs, cycles=CYCLES)
+        report = analyze_glitches(circuit, stimulus)
+        rows.append((case.name, len(circuit),
+                     report.useless_transition_fraction,
+                     report.useless_energy_fraction))
+    return rows
+
+
+def test_useless_transition_fraction(benchmark, glitch_rows):
+    rows = benchmark.pedantic(lambda: glitch_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ("Circuit", "G", "useless trans %", "useless energy %"),
+        [(n, g, format_percent(t), format_percent(e)) for n, g, t, e in rows],
+        title="Useless transitions under Scenario B",
+        footer=("average", "",
+                format_percent(mean([t for _, _, t, _ in rows])),
+                format_percent(mean([e for _, _, _, e in rows]))),
+    ))
+    fractions = [t for _, _, t, _ in rows]
+    energies = [e for _, _, _, e in rows]
+    # Multi-level circuits glitch; the fraction is material on average.
+    assert mean(fractions) > 0.02
+    assert mean(energies) >= 0.0
+    # Deeper arithmetic circuits (ripple carry) glitch hardest.
+    by_name = {n: t for n, _, t, _ in rows}
+    assert by_name["rca4"] > by_name["c17"] * 0.5

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Carry-chain activity in a ripple-carry adder (paper §1.1).
+
+All primary inputs of the adder have equilibrium probability 0.5 — so a
+probability-only power model sees nothing to optimise.  The *transition
+density* of the carry chain, however, grows towards the most
+significant bits because useless transitions are generated and
+propagated.  The example shows the modelled densities, verifies them
+against switch-level simulation, and then optimises the adder.
+
+Run:  python examples/adder_activity.py
+"""
+
+from repro.analysis import format_table, run_adder_activity
+from repro.bench import ripple_carry_adder
+from repro.core import optimize_circuit
+from repro.sim import ScenarioB, SwitchLevelSimulator
+from repro.synth import map_circuit
+
+
+def main() -> None:
+    width = 8
+
+    # 1. Model: propagated transition densities along the carry chain.
+    profile = run_adder_activity(width)
+    rows = [(name, f"{d:.3f}") for name, d in profile.items()]
+    print(format_table(("signal", "D (trans/cycle)"), rows,
+                       title=f"{width}-bit ripple-carry adder, model"))
+    print()
+
+    # 2. Simulation: measure the same densities at switch level.
+    network = ripple_carry_adder(width, expose_carries=True)
+    circuit = map_circuit(network)
+    scenario = ScenarioB(seed=5)
+    stimulus = scenario.generate(circuit.inputs, cycles=400)
+    # Delay-aware simulation: the carry-chain excess over 0.5/cycle is
+    # useless transitions from the rippling carry, so path delays matter.
+    report = SwitchLevelSimulator(circuit, delay_mode="elmore").run(stimulus)
+    rows = []
+    for i in range(width - 1):
+        net = f"c{i}"
+        measured = report.measured_stats(net)
+        rows.append((net, f"{measured.density * scenario.clock_period:.3f}",
+                     f"{measured.probability:.3f}"))
+    print(format_table(("carry", "D (trans/cycle)", "P"), rows,
+                       title="switch-level measurement (Elmore delays)"))
+    print()
+
+    # 3. Optimise: the skewed carry activity is what reordering exploits.
+    stats = scenario.input_stats(circuit.inputs)
+    best = optimize_circuit(circuit, stats, objective="best")
+    worst = optimize_circuit(circuit, stats, objective="worst")
+    saving = 1.0 - best.power_after / worst.power_after
+    print(f"mapped gates: {len(circuit)}")
+    print(f"modelled best-vs-worst power saving: {saving:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The paper's §1.1 motivation example (Figure 1 / Table 1b).
+
+The gate ``y = (a1 + a2)·b`` has four transistor orderings.  With equal
+equilibrium probabilities (0.5) but different transition densities, the
+*best* ordering changes: a configuration that saves ~20 % in one
+activity scenario wastes power in another.  This is why the power model
+must include switching activity, not just probabilities.
+
+Run:  python examples/motivation_gate.py
+"""
+
+from repro.core import GatePowerModel
+from repro.core.reorder import evaluate_configurations, pivot_search
+from repro.gates import default_library
+from repro.stochastic import SignalStats
+
+#: (label, densities for pins a=a1, b=a2, c=b) — the paper's two cases.
+CASES = [
+    ("case 1 (Da1=10K, Da2=100K, Db=1M)", (1.0e4, 1.0e5, 1.0e6)),
+    ("case 2 (Da1=1M, Da2=100K, Db=10K)", (1.0e6, 1.0e5, 1.0e4)),
+]
+
+
+def main() -> None:
+    library = default_library()
+    template = library["oai21"]  # pull-down (a | b) & c  ~  (a1 + a2)·b
+    model = GatePowerModel()
+
+    configs = pivot_search(template)  # the paper's Figure 4/5 search
+    print(f"gate {template}: {len(configs)} transistor orderings "
+          f"(paper Figure 5 finds 4)\n")
+
+    for label, densities in CASES:
+        stats = {
+            pin: SignalStats(0.5, d)
+            for pin, d in zip(template.pins, densities)
+        }
+        evaluations = evaluate_configurations(
+            template, stats, model, output_load=10e-15, configs=configs
+        )
+        worst = max(e.power for e in evaluations)
+        best = min(evaluations, key=lambda e: e.power)
+        print(label)
+        for e in evaluations:
+            marker = "  <-- best" if e is best else ""
+            print(f"  {str(e.config):45s} {e.power / worst:5.2f}{marker}")
+        print(f"  best saves {1.0 - best.power / worst:.1%} vs the worst "
+              f"ordering (paper: 19% / 17%)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517
+editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``pip install -e .`` on environments with ``wheel``) work everywhere.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

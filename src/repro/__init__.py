@@ -1,0 +1,44 @@
+"""repro — reproduction of Musoll & Cortadella, DATE 1996.
+
+*Optimizing CMOS Circuits for Low Power Using Transistor Reordering.*
+
+Public API highlights
+---------------------
+- :func:`repro.gates.default_library` — the paper's Table 2 gate library.
+- :class:`repro.circuit.Circuit` / :func:`repro.circuit.load_blif` — netlists.
+- :func:`repro.synth.map_circuit` — technology mapping onto the library.
+- :class:`repro.core.GatePowerModel` — the extended stochastic power model.
+- :func:`repro.core.optimize_circuit` — the paper's Figure 3 algorithm.
+- :class:`repro.sim.SwitchLevelSimulator` — switch-level power validation.
+- :func:`repro.timing.circuit_delay` — Elmore-based static timing.
+- :mod:`repro.analysis` — drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    analysis,
+    bench,
+    boolean,
+    circuit,
+    core,
+    gates,
+    sim,
+    stochastic,
+    synth,
+    timing,
+)
+
+__all__ = [
+    "analysis",
+    "bench",
+    "boolean",
+    "circuit",
+    "core",
+    "gates",
+    "sim",
+    "stochastic",
+    "synth",
+    "timing",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Useless-transition (glitch) analysis.
+
+The paper's opening argument: "the power consumption of useless signal
+transitions (i.e. those transitions that do not contribute to the final
+result of the circuit) accounts for a large fraction of the overall
+dynamic power".  A transition is *useless* when it would not occur in a
+zero-delay (fully settled) evaluation — it exists only because paths
+have unequal delays.
+
+This module quantifies that fraction by simulating the same stimulus
+twice: once with per-pin Elmore delays (glitches happen) and once with
+the settled zero-delay semantics (glitches cannot happen), and diffing
+per-net transition counts and energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..circuit.netlist import Circuit
+from ..gates.capacitance import TechParams
+from ..sim.stimulus import Stimulus
+from ..sim.switchsim import SwitchLevelSimulator, SwitchSimReport
+from ..timing.sta import DEFAULT_PO_LOAD
+
+__all__ = ["GlitchReport", "analyze_glitches"]
+
+
+@dataclass(frozen=True)
+class GlitchReport:
+    """Delay-aware vs settled activity of one circuit under one stimulus."""
+
+    timed: SwitchSimReport
+    settled: SwitchSimReport
+
+    @property
+    def useless_transitions(self) -> Dict[str, int]:
+        """Per-net transitions present only because of unequal delays."""
+        return {
+            net: max(0, self.timed.net_transitions[net]
+                     - self.settled.net_transitions[net])
+            for net in self.timed.net_transitions
+        }
+
+    @property
+    def total_transitions(self) -> int:
+        return sum(self.timed.net_transitions.values())
+
+    @property
+    def total_useless(self) -> int:
+        return sum(self.useless_transitions.values())
+
+    @property
+    def useless_transition_fraction(self) -> float:
+        """Fraction of all net transitions that are useless."""
+        total = self.total_transitions
+        return self.total_useless / total if total else 0.0
+
+    @property
+    def useless_energy_fraction(self) -> float:
+        """Fraction of switching energy attributable to glitches."""
+        if self.timed.energy <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.settled.energy / self.timed.energy)
+
+    def hottest_nets(self, count: int = 10):
+        """Nets with the most useless transitions, descending."""
+        useless = self.useless_transitions
+        ranked = sorted(useless.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:count]
+
+
+def analyze_glitches(circuit: Circuit, stimulus: Stimulus,
+                     tech: Optional[TechParams] = None,
+                     po_load: float = DEFAULT_PO_LOAD) -> GlitchReport:
+    """Run the timed and settled simulations and diff them."""
+    tech = tech if tech is not None else TechParams()
+    timed = SwitchLevelSimulator(
+        circuit, tech, po_load=po_load, delay_mode="elmore"
+    ).run(stimulus)
+    settled = SwitchLevelSimulator(
+        circuit, tech, po_load=po_load, delay_mode="zero"
+    ).run(stimulus)
+    return GlitchReport(timed, settled)

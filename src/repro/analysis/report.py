@@ -1,0 +1,72 @@
+"""Plain-text table formatting for experiment reports.
+
+Keeps the benchmark output close to the look of the paper's tables:
+fixed-width columns, one row per circuit, a summary row at the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_percent", "format_si"]
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """``0.123 -> '12.3'`` (percent, no sign suffix — column headers carry it)."""
+    return f"{100.0 * fraction:.{digits}f}"
+
+
+_SI_PREFIXES = (
+    (1e-15, "f"), (1e-12, "p"), (1e-9, "n"), (1e-6, "u"), (1e-3, "m"), (1.0, "")
+)
+
+
+def format_si(value: float, unit: str = "", digits: int = 2) -> str:
+    """Engineering formatting: ``1.23e-7 -> '123.00n'``."""
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    scale, prefix = _SI_PREFIXES[-1]
+    for s, p in _SI_PREFIXES:
+        if magnitude < s * 1000.0:
+            scale, prefix = s, p
+            break
+    return f"{value / scale:.{digits}f}{prefix}{unit}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None,
+                 footer: Optional[Sequence[object]] = None) -> str:
+    """Render an aligned fixed-width text table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    all_rows = [list(headers)] + str_rows
+    if footer is not None:
+        all_rows.append([str(c) for c in footer])
+    widths = [
+        max(len(row[i]) if i < len(row) else 0 for row in all_rows)
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        cells = []
+        for i, w in enumerate(widths):
+            cell = row[i] if i < len(row) else ""
+            # Right-align numbers, left-align the first (name) column.
+            if i == 0:
+                cells.append(cell.ljust(w))
+            else:
+                cells.append(cell.rjust(w))
+        return "  ".join(cells).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append(rule)
+    lines.extend(fmt(r) for r in str_rows)
+    if footer is not None:
+        lines.append(rule)
+        lines.append(fmt([str(c) for c in footer]))
+    return "\n".join(lines)

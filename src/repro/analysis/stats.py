@@ -1,0 +1,38 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["mean", "geomean", "relative_reduction", "relative_increase"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (the paper reports arithmetic averages)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geomean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def relative_reduction(reference: float, improved: float) -> float:
+    """``(reference - improved) / reference``; 0 for a zero reference."""
+    if reference == 0.0:
+        return 0.0
+    return (reference - improved) / reference
+
+
+def relative_increase(reference: float, changed: float) -> float:
+    """``(changed - reference) / reference``; 0 for a zero reference."""
+    if reference == 0.0:
+        return 0.0
+    return (changed - reference) / reference

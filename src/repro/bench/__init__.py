@@ -1,0 +1,37 @@
+"""Benchmark circuits: parametric generators and the Table 3 suite."""
+
+from .generators import (
+    alu_slice,
+    barrel_shifter,
+    carry_select_adder,
+    priority_encoder,
+    array_multiplier,
+    decoder,
+    equality_comparator,
+    magnitude_comparator,
+    majority,
+    mux_tree,
+    parity_tree,
+    random_logic,
+    ripple_carry_adder,
+)
+from .suite import BenchmarkCase, benchmark_suite, get_case
+
+__all__ = [
+    "BenchmarkCase",
+    "benchmark_suite",
+    "get_case",
+    "ripple_carry_adder",
+    "array_multiplier",
+    "parity_tree",
+    "equality_comparator",
+    "magnitude_comparator",
+    "decoder",
+    "mux_tree",
+    "alu_slice",
+    "majority",
+    "random_logic",
+    "priority_encoder",
+    "barrel_shifter",
+    "carry_select_adder",
+]

@@ -1,0 +1,498 @@
+"""Parametric benchmark circuit generators.
+
+The MCNC LGSynth BLIF files the paper uses are not redistributable
+here, so the evaluation runs on a suite of generated circuits of the
+same character and size range (documented substitution, DESIGN.md
+§3.7): datapath blocks whose input activity profiles are non-uniform
+(adders, multipliers, comparators), control-ish random multilevel
+logic, and classic structures (decoders, multiplexers, parity trees).
+Every generator returns a technology-independent
+:class:`~repro.circuit.logic.LogicNetwork` ready for mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict as Dict_, List, Sequence
+
+import numpy as np
+
+from ..circuit.logic import LogicNetwork
+
+__all__ = [
+    "full_adder_node_names",
+    "ripple_carry_adder",
+    "array_multiplier",
+    "parity_tree",
+    "equality_comparator",
+    "magnitude_comparator",
+    "decoder",
+    "mux_tree",
+    "alu_slice",
+    "majority",
+    "random_logic",
+    "priority_encoder",
+    "barrel_shifter",
+    "carry_select_adder",
+]
+
+_SUM_CUBES = ("100", "010", "001", "111")
+_CARRY_CUBES = ("11-", "1-1", "-11")
+_XOR2 = ("10", "01")
+_XNOR2 = ("11", "00")
+
+
+def full_adder_node_names(index: int) -> tuple:
+    """(sum, carry) node names used by the adder generators for bit ``index``."""
+    return f"s{index}", f"c{index}"
+
+
+def _add_full_adder(network: LogicNetwork, a: str, b: str, cin: str,
+                    sum_name: str, carry_name: str) -> None:
+    network.add_cover(sum_name, (a, b, cin), _SUM_CUBES)
+    network.add_cover(carry_name, (a, b, cin), _CARRY_CUBES)
+
+
+def ripple_carry_adder(width: int, with_cin: bool = True,
+                       expose_carries: bool = False) -> LogicNetwork:
+    """An n-bit ripple-carry adder — the paper's §1.1 motivating circuit.
+
+    Inputs ``a0..``, ``b0..`` (plus ``cin``), outputs ``s0..`` and the
+    carry out.  The carry chain accumulates switching activity towards
+    the most significant bits, which is exactly the skew the extended
+    power model exploits.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    network = LogicNetwork(f"rca{width}")
+    for i in range(width):
+        network.add_input(f"a{i}")
+        network.add_input(f"b{i}")
+    carry = None
+    if with_cin:
+        network.add_input("cin")
+        carry = "cin"
+    for i in range(width):
+        sum_name, carry_name = full_adder_node_names(i)
+        if carry is None:  # half adder for bit 0 without carry-in
+            network.add_cover(sum_name, (f"a{i}", f"b{i}"), _XOR2)
+            network.add_cover(carry_name, (f"a{i}", f"b{i}"), ("11",))
+        else:
+            _add_full_adder(network, f"a{i}", f"b{i}", carry, sum_name, carry_name)
+        network.add_output(sum_name)
+        if expose_carries and i < width - 1:
+            network.add_output(carry_name)
+        carry = carry_name
+    network.add_output(carry)
+    return network
+
+
+def array_multiplier(width: int) -> LogicNetwork:
+    """An n×n array multiplier built from AND partial products and adders."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    network = LogicNetwork(f"mult{width}")
+    for i in range(width):
+        network.add_input(f"a{i}")
+    for j in range(width):
+        network.add_input(f"b{j}")
+    # Partial products.
+    for i in range(width):
+        for j in range(width):
+            network.add_cover(f"pp{i}_{j}", (f"a{i}", f"b{j}"), ("11",))
+    # Column-wise carry-save reduction with full/half adders.
+    columns: List[List[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(f"pp{i}_{j}")
+    counter = 0
+    for col in range(2 * width):
+        while len(columns[col]) > 1:
+            if len(columns[col]) >= 3:
+                x, y, z = columns[col][:3]
+                del columns[col][:3]
+                s, c = f"ms{counter}", f"mc{counter}"
+                counter += 1
+                _add_full_adder(network, x, y, z, s, c)
+            else:
+                x, y = columns[col][:2]
+                del columns[col][:2]
+                s, c = f"ms{counter}", f"mc{counter}"
+                counter += 1
+                network.add_cover(s, (x, y), _XOR2)
+                network.add_cover(c, (x, y), ("11",))
+            columns[col].append(s)
+            if col + 1 < 2 * width:
+                columns[col + 1].append(c)
+    for col in range(2 * width):
+        if columns[col]:
+            network.add_output(columns[col][0])
+    return network
+
+
+def parity_tree(width: int) -> LogicNetwork:
+    """XOR reduction tree over ``width`` inputs."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    network = LogicNetwork(f"parity{width}")
+    level = [f"x{i}" for i in range(width)]
+    for name in level:
+        network.add_input(name)
+    counter = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            name = f"p{counter}"
+            counter += 1
+            network.add_cover(name, (level[i], level[i + 1]), _XOR2)
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    network.add_output(level[0])
+    return network
+
+
+def equality_comparator(width: int) -> LogicNetwork:
+    """``a == b`` over two n-bit operands (XNOR bits, AND tree)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    network = LogicNetwork(f"eqcmp{width}")
+    bits = []
+    for i in range(width):
+        network.add_input(f"a{i}")
+        network.add_input(f"b{i}")
+        name = f"e{i}"
+        network.add_cover(name, (f"a{i}", f"b{i}"), _XNOR2)
+        bits.append(name)
+    level = bits
+    counter = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            name = f"t{counter}"
+            counter += 1
+            network.add_cover(name, (level[i], level[i + 1]), ("11",))
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    network.add_output(level[0])
+    return network
+
+
+def magnitude_comparator(width: int) -> LogicNetwork:
+    """``a < b`` via the ripple recurrence ``lt_i = !a&b | eq&lt_{i-1}``."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    network = LogicNetwork(f"magcmp{width}")
+    lt_prev = None
+    for i in range(width):
+        network.add_input(f"a{i}")
+        network.add_input(f"b{i}")
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        if lt_prev is None:
+            network.add_cover(f"lt{i}", (a, b), ("01",))
+        else:
+            # lt = (!a & b) | ((a xnor b) & lt_prev)
+            network.add_cover(
+                f"lt{i}", (a, b, lt_prev), ("01-", "111", "001")
+            )
+        lt_prev = f"lt{i}"
+    network.add_output(lt_prev)
+    return network
+
+
+def decoder(select_bits: int) -> LogicNetwork:
+    """A ``select_bits``-to-``2**select_bits`` line decoder with enable."""
+    if not 1 <= select_bits <= 6:
+        raise ValueError("select_bits must be in 1..6")
+    network = LogicNetwork(f"dec{select_bits}")
+    sels = [f"s{i}" for i in range(select_bits)]
+    for s in sels:
+        network.add_input(s)
+    network.add_input("en")
+    for value in range(1 << select_bits):
+        pattern = "".join(
+            "1" if (value >> i) & 1 else "0" for i in range(select_bits)
+        ) + "1"
+        name = f"o{value}"
+        network.add_cover(name, tuple(sels) + ("en",), (pattern,))
+        network.add_output(name)
+    return network
+
+
+def mux_tree(select_bits: int) -> LogicNetwork:
+    """A ``2**select_bits``-to-1 multiplexer built as a tree of 2:1 muxes."""
+    if not 1 <= select_bits <= 6:
+        raise ValueError("select_bits must be in 1..6")
+    network = LogicNetwork(f"mux{1 << select_bits}")
+    data = [f"d{i}" for i in range(1 << select_bits)]
+    sels = [f"s{i}" for i in range(select_bits)]
+    for name in data + sels:
+        network.add_input(name)
+    level = data
+    counter = 0
+    for stage, sel in enumerate(sels):
+        nxt = []
+        for i in range(0, len(level), 2):
+            name = f"m{counter}"
+            counter += 1
+            # out = sel ? level[i+1] : level[i], inputs (sel, d0, d1).
+            network.add_cover(name, (sel, level[i], level[i + 1]), ("01-", "1-1"))
+            nxt.append(name)
+        level = nxt
+    network.add_output(level[0])
+    return network
+
+
+def alu_slice(width: int) -> LogicNetwork:
+    """An n-bit 4-function ALU: op selects AND / OR / XOR / ADD.
+
+    Inputs ``a*``, ``b*``, ``op0``, ``op1``; one output per bit plus the
+    adder carry out.  The op inputs see very different activity from
+    the data inputs, which makes this a good reordering workload.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    network = LogicNetwork(f"alu{width}")
+    for i in range(width):
+        network.add_input(f"a{i}")
+        network.add_input(f"b{i}")
+    network.add_input("op0")
+    network.add_input("op1")
+    carry = None
+    for i in range(width):
+        a, b = f"a{i}", f"b{i}"
+        network.add_cover(f"and{i}", (a, b), ("11",))
+        network.add_cover(f"or{i}", (a, b), ("1-", "-1"))
+        network.add_cover(f"xor{i}", (a, b), _XOR2)
+        if carry is None:
+            network.add_cover(f"add{i}", (a, b), _XOR2)
+            network.add_cover(f"cy{i}", (a, b), ("11",))
+        else:
+            _add_full_adder(network, a, b, carry, f"add{i}", f"cy{i}")
+        carry = f"cy{i}"
+        # 4:1 mux on (op1, op0): 00=and, 01=or, 10=xor, 11=add.
+        network.add_cover(
+            f"y{i}",
+            ("op1", "op0", f"and{i}", f"or{i}", f"xor{i}", f"add{i}"),
+            ("001---", "01-1--", "10--1-", "11---1"),
+        )
+        network.add_output(f"y{i}")
+    network.add_output(carry)
+    return network
+
+
+def majority(width: int = 3) -> LogicNetwork:
+    """Majority-of-n (odd n up to 7) as a single flat cover."""
+    if width % 2 == 0 or not 3 <= width <= 7:
+        raise ValueError("width must be odd, between 3 and 7")
+    network = LogicNetwork(f"maj{width}")
+    names = [f"x{i}" for i in range(width)]
+    for n in names:
+        network.add_input(n)
+    threshold = width // 2 + 1
+    cubes = []
+    for mask in range(1 << width):
+        if bin(mask).count("1") == threshold:
+            cubes.append(
+                "".join("1" if (mask >> i) & 1 else "-" for i in range(width))
+            )
+    network.add_cover("maj", tuple(names), tuple(cubes))
+    network.add_output("maj")
+    return network
+
+
+def random_logic(num_inputs: int, num_nodes: int, seed: int,
+                 max_fanin: int = 4, name: str = None) -> LogicNetwork:
+    """Seeded random multilevel logic (control-logic stand-in).
+
+    Nodes pick 2..``max_fanin`` distinct existing nets and a random
+    non-trivial SOP over them.  Every sink node (one that nothing reads)
+    becomes a primary output, so no logic dangles.
+    """
+    if num_inputs < 2 or num_nodes < 1:
+        raise ValueError("need at least 2 inputs and 1 node")
+    rng = np.random.default_rng(seed)
+    network = LogicNetwork(name or f"rand{num_inputs}x{num_nodes}s{seed}")
+    # Vector simulation (128 random assignments) guards against nodes
+    # that are globally constant — the Table 2 library has no tie cells,
+    # so a constant output would be unmappable.
+    samples = 128
+    columns: Dict_ = {}
+    nets = []
+    for i in range(num_inputs):
+        net = f"x{i}"
+        network.add_input(net)
+        nets.append(net)
+        columns[net] = rng.integers(0, 2, size=samples).astype(bool)
+
+    def column_of(inputs, cubes):
+        value = np.zeros(samples, dtype=bool)
+        for cube in cubes:
+            term = np.ones(samples, dtype=bool)
+            for char, net in zip(cube, inputs):
+                if char == "1":
+                    term &= columns[net]
+                elif char == "0":
+                    term &= ~columns[net]
+            value |= term
+        return value
+
+    read = set()
+    for n in range(num_nodes):
+        node_name = f"n{n}"
+        for _attempt in range(32):
+            fanin = int(rng.integers(2, max_fanin + 1))
+            fanin = min(fanin, len(nets))
+            chosen = list(rng.choice(len(nets), size=fanin, replace=False))
+            inputs = tuple(nets[i] for i in chosen)
+            cubes = set()
+            num_cubes = int(rng.integers(1, fanin + 2))
+            for _ in range(num_cubes):
+                cube = "".join(rng.choice(["0", "1", "-"], p=[0.3, 0.4, 0.3])
+                               for _ in range(fanin))
+                if cube != "-" * fanin:
+                    cubes.add(cube)
+            if not cubes:
+                continue
+            cubes = tuple(sorted(cubes))
+            column = column_of(inputs, cubes)
+            if column.all() or not column.any():
+                continue  # (near-)constant under sampling: resample
+            break
+        else:
+            # Guaranteed non-constant fallback: XOR with a fresh primary input.
+            inputs = (nets[int(rng.integers(0, num_inputs))], "x0")
+            if inputs[0] == "x0":
+                inputs = ("x1", "x0")
+            cubes = ("10", "01")
+            column = column_of(inputs, cubes)
+        network.add_cover(node_name, inputs, cubes)
+        columns[node_name] = column
+        nets.append(node_name)
+        read.update(inputs)
+    for node in network.nodes:
+        if node.name not in read:
+            network.add_output(node.name)
+    if not network.outputs:
+        network.add_output(network.nodes[-1].name)
+    return network
+
+
+def priority_encoder(width: int) -> LogicNetwork:
+    """Priority encoder: index of the highest asserted input, plus valid.
+
+    Output bit ``q{j}`` is 1 when the highest set request has bit ``j``
+    in its index; ``valid`` is the OR of all requests.
+    """
+    if not 2 <= width <= 16:
+        raise ValueError("width must be in 2..16")
+    network = LogicNetwork(f"prienc{width}")
+    reqs = [f"r{i}" for i in range(width)]
+    for r in reqs:
+        network.add_input(r)
+    # grant_i = r_i & !r_{i+1} & ... & !r_{width-1}
+    for i in range(width):
+        inputs = tuple(reqs[i:])
+        pattern = "1" + "0" * (width - 1 - i)
+        network.add_cover(f"g{i}", inputs, (pattern,))
+    bits = max(1, (width - 1).bit_length())
+    for j in range(bits):
+        grants = tuple(f"g{i}" for i in range(width) if (i >> j) & 1)
+        # Every index bit j has at least one grant with that bit set,
+        # because bits is derived from width - 1.
+        patterns = tuple(
+            "-" * k + "1" + "-" * (len(grants) - 1 - k)
+            for k in range(len(grants))
+        )
+        network.add_cover(f"q{j}", grants, patterns)
+        network.add_output(f"q{j}")
+    patterns = tuple(
+        "-" * k + "1" + "-" * (width - 1 - k) for k in range(width)
+    )
+    network.add_cover("valid", tuple(reqs), patterns)
+    network.add_output("valid")
+    return network
+
+
+def barrel_shifter(width_log2: int) -> LogicNetwork:
+    """Logical right barrel shifter: ``2**width_log2`` data bits, staged muxes."""
+    if not 1 <= width_log2 <= 4:
+        raise ValueError("width_log2 must be in 1..4")
+    width = 1 << width_log2
+    network = LogicNetwork(f"bshift{width}")
+    data = [f"d{i}" for i in range(width)]
+    sels = [f"s{k}" for k in range(width_log2)]
+    for name in data + sels:
+        network.add_input(name)
+    current = data
+    for stage, sel in enumerate(sels):
+        shift = 1 << stage
+        nxt = []
+        for i in range(width):
+            src0 = current[i]
+            name = f"st{stage}_{i}"
+            if i + shift < width:
+                src1 = current[i + shift]
+                # out = sel ? src1 : src0, inputs (sel, src0, src1).
+                network.add_cover(name, (sel, src0, src1), ("01-", "1-1"))
+            else:
+                # Shifted-in zero: out = !sel & src0.
+                network.add_cover(name, (sel, src0), ("01",))
+            nxt.append(name)
+        current = nxt
+    for i, net in enumerate(current):
+        network.add_output(net)
+    return network
+
+
+def carry_select_adder(width: int, block: int = 4) -> LogicNetwork:
+    """Carry-select adder: per-block dual ripple chains plus carry muxes.
+
+    A different adder topology than :func:`ripple_carry_adder` — blocks
+    compute both carry hypotheses speculatively, so the internal
+    activity profile differs markedly (good reordering variety).
+    """
+    if width < 1 or block < 1:
+        raise ValueError("width and block must be positive")
+    network = LogicNetwork(f"csel{width}")
+    for i in range(width):
+        network.add_input(f"a{i}")
+        network.add_input(f"b{i}")
+    network.add_input("cin")
+    carry = "cin"
+    for base in range(0, width, block):
+        top = min(base + block, width)
+        suffix0, suffix1 = f"_{base}c0", f"_{base}c1"
+        # Two speculative chains: carry-in 0 and carry-in 1.
+        prev0 = prev1 = None
+        for i in range(base, top):
+            a, b = f"a{i}", f"b{i}"
+            s0, c0 = f"ss{i}{suffix0}", f"cc{i}{suffix0}"
+            s1, c1 = f"ss{i}{suffix1}", f"cc{i}{suffix1}"
+            if prev0 is None:
+                network.add_cover(s0, (a, b), _XOR2)
+                network.add_cover(c0, (a, b), ("11",))
+                network.add_cover(s1, (a, b), _XNOR2)
+                network.add_cover(c1, (a, b), ("1-", "-1"))
+            else:
+                _add_full_adder(network, a, b, prev0, s0, c0)
+                _add_full_adder(network, a, b, prev1, s1, c1)
+            prev0, prev1 = c0, c1
+        # Select the real results with the incoming carry.
+        for i in range(base, top):
+            name = f"s{i}"
+            network.add_cover(
+                name, (carry, f"ss{i}{suffix0}", f"ss{i}{suffix1}"),
+                ("01-", "1-1"),
+            )
+            network.add_output(name)
+        out_carry = f"c{top - 1}"
+        network.add_cover(
+            out_carry, (carry, prev0, prev1), ("01-", "1-1")
+        )
+        carry = out_carry
+    network.add_output(carry)
+    return network

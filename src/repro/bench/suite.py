@@ -1,0 +1,152 @@
+"""The benchmark suite used to regenerate the paper's Table 3.
+
+Thirty combinational circuits in the size range of the paper's MCNC
+selection (tens to hundreds of mapped gates).  A few classics are
+embedded as BLIF text (exercising the parser in the full flow); the
+rest come from :mod:`repro.bench.generators`.  The substitution for
+the original MCNC files is documented in DESIGN.md §3.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..circuit.blif import parse_blif
+from ..circuit.logic import LogicNetwork
+from . import generators as g
+
+__all__ = ["BenchmarkCase", "benchmark_suite", "get_case", "C17_BLIF"]
+
+#: ISCAS-85 c17 — small enough to publish inline, classic enough to matter.
+C17_BLIF = """
+.model c17
+.inputs 1gat 2gat 3gat 6gat 7gat
+.outputs 22gat 23gat
+.names 1gat 3gat 10gat
+11 0
+.names 3gat 6gat 11gat
+11 0
+.names 2gat 11gat 16gat
+11 0
+.names 11gat 7gat 19gat
+11 0
+.names 10gat 16gat 22gat
+11 0
+.names 16gat 19gat 23gat
+11 0
+.end
+"""
+
+_XOR5_BLIF = """
+.model xor5
+.inputs a b c d e
+.outputs y
+.names a b t0
+10 1
+01 1
+.names c d t1
+10 1
+01 1
+.names t0 t1 t2
+10 1
+01 1
+.names t2 e y
+10 1
+01 1
+.end
+"""
+
+_MAJ3_BLIF = """
+.model maj3
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One suite entry: a named logic-network factory."""
+
+    name: str
+    build: Callable[[], LogicNetwork]
+    description: str
+    group: str
+
+    def network(self) -> LogicNetwork:
+        network = self.build()
+        network.validate()
+        return network
+
+
+def _blif_case(name: str, text: str, description: str) -> BenchmarkCase:
+    return BenchmarkCase(name, lambda: parse_blif(text), description, "blif")
+
+
+_CASES: List[BenchmarkCase] = [
+    _blif_case("c17", C17_BLIF, "ISCAS-85 c17 NAND network"),
+    _blif_case("xor5", _XOR5_BLIF, "5-input parity (BLIF)"),
+    _blif_case("maj3", _MAJ3_BLIF, "3-input majority (BLIF)"),
+    BenchmarkCase("fa1", lambda: g.ripple_carry_adder(1), "1-bit full adder", "arith"),
+    BenchmarkCase("rca4", lambda: g.ripple_carry_adder(4), "4-bit ripple adder", "arith"),
+    BenchmarkCase("rca8", lambda: g.ripple_carry_adder(8), "8-bit ripple adder", "arith"),
+    BenchmarkCase("rca16", lambda: g.ripple_carry_adder(16), "16-bit ripple adder", "arith"),
+    BenchmarkCase("mult2", lambda: g.array_multiplier(2), "2x2 array multiplier", "arith"),
+    BenchmarkCase("mult3", lambda: g.array_multiplier(3), "3x3 array multiplier", "arith"),
+    BenchmarkCase("mult4", lambda: g.array_multiplier(4), "4x4 array multiplier", "arith"),
+    BenchmarkCase("parity8", lambda: g.parity_tree(8), "8-input parity tree", "tree"),
+    BenchmarkCase("parity16", lambda: g.parity_tree(16), "16-input parity tree", "tree"),
+    BenchmarkCase("eqcmp8", lambda: g.equality_comparator(8), "8-bit equality", "cmp"),
+    BenchmarkCase("magcmp6", lambda: g.magnitude_comparator(6), "6-bit magnitude", "cmp"),
+    BenchmarkCase("magcmp10", lambda: g.magnitude_comparator(10), "10-bit magnitude", "cmp"),
+    BenchmarkCase("dec3", lambda: g.decoder(3), "3-to-8 decoder", "ctl"),
+    BenchmarkCase("dec4", lambda: g.decoder(4), "4-to-16 decoder", "ctl"),
+    BenchmarkCase("mux8", lambda: g.mux_tree(3), "8-to-1 multiplexer", "ctl"),
+    BenchmarkCase("mux16", lambda: g.mux_tree(4), "16-to-1 multiplexer", "ctl"),
+    BenchmarkCase("alu2", lambda: g.alu_slice(2), "2-bit 4-function ALU", "arith"),
+    BenchmarkCase("alu4", lambda: g.alu_slice(4), "4-bit 4-function ALU", "arith"),
+    BenchmarkCase("maj5", lambda: g.majority(5), "5-input majority", "tree"),
+    BenchmarkCase("rnd_a", lambda: g.random_logic(8, 20, seed=11, name="rnd_a"),
+                  "random logic 8x20", "rand"),
+    BenchmarkCase("rnd_b", lambda: g.random_logic(10, 35, seed=23, name="rnd_b"),
+                  "random logic 10x35", "rand"),
+    BenchmarkCase("rnd_c", lambda: g.random_logic(12, 50, seed=37, name="rnd_c"),
+                  "random logic 12x50", "rand"),
+    BenchmarkCase("rnd_d", lambda: g.random_logic(16, 80, seed=41, name="rnd_d"),
+                  "random logic 16x80", "rand"),
+    BenchmarkCase("rnd_e", lambda: g.random_logic(14, 60, seed=53, name="rnd_e"),
+                  "random logic 14x60", "rand"),
+    BenchmarkCase("rnd_f", lambda: g.random_logic(20, 110, seed=67, name="rnd_f"),
+                  "random logic 20x110", "rand"),
+    BenchmarkCase("rnd_g", lambda: g.random_logic(24, 140, seed=71, name="rnd_g"),
+                  "random logic 24x140", "rand"),
+    BenchmarkCase("rnd_h", lambda: g.random_logic(18, 95, seed=83, name="rnd_h"),
+                  "random logic 18x95", "rand"),
+]
+
+
+def benchmark_suite(subset: Optional[str] = None) -> List[BenchmarkCase]:
+    """The evaluation suite.
+
+    ``subset="quick"`` returns a small representative selection for
+    CI-speed runs; ``None``/``"full"`` returns all 30 circuits.
+    """
+    if subset in (None, "full"):
+        return list(_CASES)
+    if subset == "quick":
+        names = {"c17", "fa1", "rca4", "mult2", "parity8", "dec3",
+                 "mux8", "magcmp6", "rnd_a", "rnd_b"}
+        return [c for c in _CASES if c.name in names]
+    raise ValueError(f"unknown subset {subset!r}; use 'quick' or 'full'")
+
+
+def get_case(name: str) -> BenchmarkCase:
+    for case in _CASES:
+        if case.name == name:
+            return case
+    raise KeyError(f"no benchmark named {name!r}")

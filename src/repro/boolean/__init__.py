@@ -1,0 +1,19 @@
+"""Boolean-function substrates: truth tables, expressions and BDDs."""
+
+from .bdd import BDD, Func
+from .expr import And, Const, Expr, Not, Or, Var, Xor, parse_expr
+from .truthtable import TruthTable
+
+__all__ = [
+    "BDD",
+    "Func",
+    "TruthTable",
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "parse_expr",
+]

@@ -1,0 +1,301 @@
+"""Boolean expression AST with a small infix parser.
+
+Expressions are the human-facing form for library gate functions and
+sum-of-products covers.  They evaluate generically: the same tree can be
+folded over plain booleans, :class:`~repro.boolean.truthtable.TruthTable`
+objects or BDD nodes, because evaluation only uses ``&``, ``|``, ``^``
+and ``~`` on the operand type.
+
+Grammar (precedence low to high)::
+
+    expr   := term ('|' term)*          # also '+'
+    term   := factor ('&' factor)*      # also '*' and juxtaposition-free
+    factor := xorop
+    xorop  := unary ('^' unary)*
+    unary  := '!' unary | '~' unary | atom ("'" postfix complement)*
+    atom   := '0' | '1' | NAME | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence, Tuple
+
+from .truthtable import TruthTable
+
+__all__ = ["Expr", "Var", "Const", "Not", "And", "Or", "Xor", "parse_expr"]
+
+
+class Expr:
+    """Base class of Boolean expression nodes."""
+
+    def evaluate(self, env: Mapping[str, object]):
+        """Fold the expression over operands looked up in ``env``.
+
+        Works for any operand type supporting ``&``, ``|``, ``^``, ``~``
+        (booleans are special-cased so plain ``bool`` works too).
+        """
+        raise NotImplementedError
+
+    def variables(self) -> Tuple[str, ...]:
+        """All distinct variable names, in first-appearance order."""
+        seen = []
+        self._collect(seen)
+        return tuple(seen)
+
+    def _collect(self, seen) -> None:
+        raise NotImplementedError
+
+    def to_truthtable(self, variables: Sequence[str] = None) -> TruthTable:
+        """Compile to a truth table over ``variables`` (default: own support)."""
+        if variables is None:
+            variables = self.variables()
+        env = {v: TruthTable.variable(variables, v) for v in variables}
+        result = self.evaluate(env)
+        if isinstance(result, bool):
+            result = TruthTable.constant(variables, result)
+        return result
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor((self, other))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self})"
+
+
+class Var(Expr):
+    """A named input variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env):
+        return env[self.name]
+
+    def _collect(self, seen):
+        if self.name not in seen:
+            seen.append(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    """A Boolean constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def evaluate(self, env):
+        return self.value
+
+    def _collect(self, seen):
+        pass
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+class Not(Expr):
+    """Logical complement."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def evaluate(self, env):
+        value = self.operand.evaluate(env)
+        if isinstance(value, bool):
+            return not value
+        return ~value
+
+    def _collect(self, seen):
+        self.operand._collect(seen)
+
+    def __str__(self) -> str:
+        return f"!{self._paren(self.operand)}"
+
+    @staticmethod
+    def _paren(e: Expr) -> str:
+        return f"({e})" if isinstance(e, (And, Or, Xor)) else str(e)
+
+
+class _NaryOp(Expr):
+    """Shared machinery for associative binary connectives."""
+
+    __slots__ = ("operands",)
+    _symbol = "?"
+
+    def __init__(self, operands: Sequence[Expr]):
+        operands = tuple(operands)
+        if len(operands) < 1:
+            raise ValueError("n-ary operator needs at least one operand")
+        self.operands = operands
+
+    def _fold(self, a, b):
+        raise NotImplementedError
+
+    def evaluate(self, env):
+        values = [op.evaluate(env) for op in self.operands]
+        acc = values[0]
+        for v in values[1:]:
+            acc = self._fold(acc, v)
+        return acc
+
+    def _collect(self, seen):
+        for op in self.operands:
+            op._collect(seen)
+
+    def _paren(self, e: Expr) -> str:
+        if isinstance(e, _NaryOp) and type(e) is not type(self):
+            return f"({e})"
+        return str(e)
+
+    def __str__(self) -> str:
+        return f" {self._symbol} ".join(self._paren(op) for op in self.operands)
+
+
+class And(_NaryOp):
+    """Logical conjunction."""
+
+    _symbol = "&"
+
+    def _fold(self, a, b):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a and b
+        return a & b
+
+
+class Or(_NaryOp):
+    """Logical disjunction."""
+
+    _symbol = "|"
+
+    def _fold(self, a, b):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a or b
+        return a | b
+
+
+class Xor(_NaryOp):
+    """Logical exclusive-or."""
+
+    _symbol = "^"
+
+    def _fold(self, a, b):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return a != b
+        return a ^ b
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens = list(self._lex(text))
+        self.pos = 0
+
+    @staticmethod
+    def _lex(text: str) -> Iterator[str]:
+        i = 0
+        while i < len(text):
+            c = text[i]
+            if c.isspace():
+                i += 1
+            elif c in "()!~&|^*+'":
+                yield c
+                i += 1
+            elif c.isalnum() or c in "_[]<>.$":
+                j = i
+                while j < len(text) and (text[j].isalnum() or text[j] in "_[]<>.$"):
+                    j += 1
+                yield text[i:j]
+                i = j
+            else:
+                raise ValueError(f"unexpected character {c!r} in expression {text!r}")
+
+    def peek(self) -> str:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else ""
+
+    def next(self) -> str:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ValueError(f"expected {tok!r}, got {got!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse an infix Boolean expression string into an :class:`Expr` tree."""
+    tokens = _Tokens(text)
+    expr = _parse_or(tokens)
+    if tokens.peek():
+        raise ValueError(f"trailing tokens near {tokens.peek()!r} in {text!r}")
+    return expr
+
+
+def _parse_or(tokens: _Tokens) -> Expr:
+    parts = [_parse_and(tokens)]
+    while tokens.peek() in ("|", "+"):
+        tokens.next()
+        parts.append(_parse_and(tokens))
+    return parts[0] if len(parts) == 1 else Or(parts)
+
+
+def _parse_and(tokens: _Tokens) -> Expr:
+    parts = [_parse_xor(tokens)]
+    while tokens.peek() in ("&", "*"):
+        tokens.next()
+        parts.append(_parse_xor(tokens))
+    return parts[0] if len(parts) == 1 else And(parts)
+
+
+def _parse_xor(tokens: _Tokens) -> Expr:
+    parts = [_parse_unary(tokens)]
+    while tokens.peek() == "^":
+        tokens.next()
+        parts.append(_parse_unary(tokens))
+    return parts[0] if len(parts) == 1 else Xor(parts)
+
+
+def _parse_unary(tokens: _Tokens) -> Expr:
+    tok = tokens.peek()
+    if tok in ("!", "~"):
+        tokens.next()
+        expr: Expr = Not(_parse_unary(tokens))
+    elif tok == "(":
+        tokens.next()
+        expr = _parse_or(tokens)
+        tokens.expect(")")
+    elif tok == "0":
+        tokens.next()
+        expr = Const(False)
+    elif tok == "1":
+        tokens.next()
+        expr = Const(True)
+    elif tok and (tok[0].isalpha() or tok[0] in "_$"):
+        tokens.next()
+        expr = Var(tok)
+    else:
+        raise ValueError(f"unexpected token {tok!r}")
+    while tokens.peek() == "'":
+        tokens.next()
+        expr = Not(expr)
+    return expr

@@ -1,0 +1,29 @@
+"""Netlist substrates: mapped circuits, logic networks, BLIF, traversals."""
+
+from .blif import load_blif, parse_blif, parse_mapped_blif, write_blif, write_mapped_blif
+from .logic import Cube, LogicError, LogicNetwork, LogicNode
+from .netlist import Circuit, CircuitError, GateInstance
+from .verilog import VerilogError, parse_verilog, write_verilog
+from .topology import levelize, reachable_from_outputs, topological_gates, transitive_fanin
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "GateInstance",
+    "LogicNetwork",
+    "LogicNode",
+    "LogicError",
+    "Cube",
+    "load_blif",
+    "parse_blif",
+    "write_blif",
+    "parse_mapped_blif",
+    "write_mapped_blif",
+    "topological_gates",
+    "levelize",
+    "transitive_fanin",
+    "reachable_from_outputs",
+    "write_verilog",
+    "parse_verilog",
+    "VerilogError",
+]

@@ -1,0 +1,69 @@
+"""NetworkX views of circuits and transistor networks.
+
+Exports the internal structures as ``networkx`` graphs for ad-hoc
+analysis (path queries, drawing, centrality, ...) without coupling the
+core algorithms to a graph library:
+
+* :func:`circuit_graph` — gate-level DAG (gates and primary-input nets
+  as nodes, net connections as edges);
+* :func:`transistor_graph` — one gate configuration's transistor
+  network as a multigraph (electrical nodes, one edge per transistor).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..gates.network import TransistorNetwork
+from .netlist import Circuit
+
+__all__ = ["circuit_graph", "transistor_graph", "logic_depth_histogram"]
+
+
+def circuit_graph(circuit: Circuit) -> "nx.DiGraph":
+    """Directed gate-connectivity graph of a mapped netlist.
+
+    Nodes are gate names plus primary-input net names (flagged with a
+    ``kind`` attribute); an edge ``u -> v`` with attribute ``net`` means
+    ``v`` reads a net driven by ``u``.
+    """
+    graph = nx.DiGraph(name=circuit.name)
+    for net in circuit.inputs:
+        graph.add_node(net, kind="input")
+    for gate in circuit.gates:
+        graph.add_node(gate.name, kind="gate", template=gate.template.name,
+                       output=gate.output)
+    for gate in circuit.gates:
+        for pin, net in gate.pin_nets.items():
+            driver = circuit.driver(net)
+            source = driver.name if driver is not None else net
+            graph.add_edge(source, gate.name, net=net, pin=pin)
+    return graph
+
+
+def transistor_graph(network: TransistorNetwork) -> "nx.MultiGraph":
+    """The (V, E) graph of paper Figure 2(a) as a networkx multigraph."""
+    graph = nx.MultiGraph()
+    graph.add_nodes_from(["vdd", "vss", "y"], kind="terminal")
+    for node in network.internal_nodes:
+        graph.add_node(node, kind="internal")
+    for transistor in network.transistors:
+        graph.add_edge(transistor.node_a, transistor.node_b,
+                       signal=transistor.signal, ttype=transistor.ttype)
+    return graph
+
+
+def logic_depth_histogram(circuit: Circuit) -> dict:
+    """Gate count per logic level (uses the DAG longest-path structure)."""
+    graph = circuit_graph(circuit)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("circuit graph is not acyclic")
+    depth = {}
+    for node in nx.topological_sort(graph):
+        preds = list(graph.predecessors(node))
+        depth[node] = 0 if not preds else 1 + max(depth[p] for p in preds)
+    histogram: dict = {}
+    for gate in circuit.gates:
+        level = depth[gate.name]
+        histogram[level] = histogram.get(level, 0) + 1
+    return histogram

@@ -1,0 +1,233 @@
+"""Mapped gate-level netlists.
+
+A :class:`Circuit` is a combinational multilevel network of library
+gate instances — the representation the paper's optimisation algorithm
+traverses.  Nets are strings; every net is driven either by a primary
+input or by exactly one gate output.  Each gate instance carries its
+own transistor-ordering :class:`~repro.gates.library.GateConfig`, which
+is what the optimiser rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..gates.capacitance import TechParams, pin_capacitance
+from ..gates.library import GateConfig, GateLibrary, GateTemplate
+from ..gates.network import CompiledGate
+
+__all__ = ["GateInstance", "Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid netlists."""
+
+
+@dataclass
+class GateInstance:
+    """One placed gate: a template, pin-to-net bindings and an ordering."""
+
+    name: str
+    template: GateTemplate
+    pin_nets: Dict[str, str]
+    output: str
+    config: Optional[GateConfig] = None
+    """``None`` means the template's default (as-mapped) configuration."""
+
+    def __post_init__(self):
+        missing = [p for p in self.template.pins if p not in self.pin_nets]
+        extra = [p for p in self.pin_nets if p not in self.template.pins]
+        if missing or extra:
+            raise CircuitError(
+                f"gate {self.name} ({self.template.name}): "
+                f"missing pins {missing}, unknown pins {extra}"
+            )
+
+    @property
+    def fanin_nets(self) -> Tuple[str, ...]:
+        """Input nets in pin order (duplicates preserved)."""
+        return tuple(self.pin_nets[p] for p in self.template.pins)
+
+    def effective_config(self) -> GateConfig:
+        return self.config if self.config is not None else self.template.default_config()
+
+    def compiled(self) -> CompiledGate:
+        """The (cached) compiled form of this instance's configuration."""
+        return self.template.compile_config(self.effective_config())
+
+
+class Circuit:
+    """A combinational netlist of library gates."""
+
+    def __init__(self, name: str, library: GateLibrary):
+        self.name = name
+        self.library = library
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self._gates: Dict[str, GateInstance] = {}
+        self._driver: Dict[str, GateInstance] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> None:
+        if net in self.inputs:
+            raise CircuitError(f"duplicate primary input {net!r}")
+        if net in self._driver:
+            raise CircuitError(f"net {net!r} already driven by a gate")
+        self.inputs.append(net)
+
+    def add_output(self, net: str) -> None:
+        if net in self.outputs:
+            raise CircuitError(f"duplicate primary output {net!r}")
+        self.outputs.append(net)
+
+    def add_gate(self, name: str, template_name: str,
+                 pin_nets: Mapping[str, str], output: str,
+                 config: Optional[GateConfig] = None) -> GateInstance:
+        """Instantiate ``template_name`` driving ``output``."""
+        if name in self._gates:
+            raise CircuitError(f"duplicate gate name {name!r}")
+        if output in self._driver:
+            raise CircuitError(f"net {output!r} has multiple drivers")
+        if output in self.inputs:
+            raise CircuitError(f"net {output!r} is a primary input")
+        template = self.library[template_name]
+        gate = GateInstance(name, template, dict(pin_nets), output, config)
+        self._gates[name] = gate
+        self._driver[output] = gate
+        return gate
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[GateInstance, ...]:
+        return tuple(self._gates.values())
+
+    def gate(self, name: str) -> GateInstance:
+        return self._gates[name]
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, gate_name: str) -> bool:
+        return gate_name in self._gates
+
+    def driver(self, net: str) -> Optional[GateInstance]:
+        """The gate driving ``net`` (``None`` for primary inputs)."""
+        return self._driver.get(net)
+
+    def nets(self) -> Tuple[str, ...]:
+        """All nets: primary inputs then gate outputs, in creation order."""
+        return tuple(self.inputs) + tuple(g.output for g in self._gates.values())
+
+    def fanout(self, net: str) -> List[Tuple[GateInstance, str]]:
+        """(gate, pin) sinks of ``net`` (primary-output sinks excluded)."""
+        sinks = []
+        for gate in self._gates.values():
+            for pin, bound in gate.pin_nets.items():
+                if bound == net:
+                    sinks.append((gate, pin))
+        return sinks
+
+    def output_load(self, net: str, tech: TechParams,
+                    po_load: float = 10.0e-15) -> float:
+        """External capacitance on ``net``: fanin pins plus primary-output load."""
+        load = sum(
+            pin_capacitance(gate.compiled(), pin, tech)
+            for gate, pin in self.fanout(net)
+        )
+        if net in self.outputs:
+            load += po_load
+        return load
+
+    def gate_count_by_template(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self._gates.values():
+            counts[gate.template.name] = counts.get(gate.template.name, 0) + 1
+        return counts
+
+    def transistor_count(self) -> int:
+        return sum(g.template.num_transistors for g in self._gates.values())
+
+    def area(self) -> float:
+        """Total area (configuration-independent, as the paper notes)."""
+        return float(sum(g.template.area for g in self._gates.values()))
+
+    # ------------------------------------------------------------------
+    # Validation / copying
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`CircuitError` on problems."""
+        for gate in self._gates.values():
+            for pin, net in gate.pin_nets.items():
+                if net not in self.inputs and net not in self._driver:
+                    raise CircuitError(
+                        f"gate {gate.name} pin {pin}: net {net!r} has no driver"
+                    )
+        for net in self.outputs:
+            if net not in self.inputs and net not in self._driver:
+                raise CircuitError(f"primary output {net!r} has no driver")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+
+        def visit(gate: GateInstance) -> None:
+            state[gate.name] = 1
+            for net in gate.fanin_nets:
+                pred = self._driver.get(net)
+                if pred is None:
+                    continue
+                mark = state.get(pred.name, 0)
+                if mark == 1:
+                    raise CircuitError(f"combinational cycle through {pred.name}")
+                if mark == 0:
+                    visit(pred)
+            state[gate.name] = 2
+
+        import sys
+
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old, 4 * len(self._gates) + 100))
+        try:
+            for gate in self._gates.values():
+                if state.get(gate.name, 0) == 0:
+                    visit(gate)
+        finally:
+            sys.setrecursionlimit(old)
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep copy (gate configs included)."""
+        clone = Circuit(name or self.name, self.library)
+        clone.inputs = list(self.inputs)
+        clone.outputs = list(self.outputs)
+        for gate in self._gates.values():
+            clone.add_gate(gate.name, gate.template.name, dict(gate.pin_nets),
+                           gate.output, gate.config)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Functional evaluation (for equivalence checks and logic simulation)
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: Mapping[str, bool]) -> Dict[str, bool]:
+        """Zero-delay evaluation of every net for one input vector."""
+        from .topology import topological_gates
+
+        values: Dict[str, bool] = {n: bool(input_values[n]) for n in self.inputs}
+        for gate in topological_gates(self):
+            compiled = gate.compiled()
+            minterm = 0
+            for j, pin in enumerate(gate.template.pins):
+                if values[gate.pin_nets[pin]]:
+                    minterm |= 1 << j
+            values[gate.output] = compiled.output_tt.evaluate_index(minterm)
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self.outputs)}, gates={len(self._gates)})"
+        )

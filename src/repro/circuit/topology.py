@@ -1,0 +1,89 @@
+"""Topological traversals of netlists (the paper's DEPTH_FIRST_TRAVERSE).
+
+The optimisation algorithm needs the gates "ordered in a depth-first
+fashion from the outputs, i.e. every gate appears somewhere after all
+of its transitive fan-in gates" — a topological order.  Kahn's
+algorithm is used (iterative, so deep circuits do not hit the recursion
+limit); ties are broken by gate creation order for reproducibility.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from .netlist import Circuit, CircuitError, GateInstance
+
+__all__ = ["topological_gates", "levelize", "transitive_fanin", "reachable_from_outputs"]
+
+
+def topological_gates(circuit: Circuit) -> List[GateInstance]:
+    """Gates in dependency order: drivers before their sinks."""
+    order_index = {g.name: i for i, g in enumerate(circuit.gates)}
+    indegree: Dict[str, int] = {}
+    dependents: Dict[str, List[GateInstance]] = {}
+    for gate in circuit.gates:
+        count = 0
+        for net in set(gate.fanin_nets):
+            pred = circuit.driver(net)
+            if pred is not None:
+                count += 1
+                dependents.setdefault(pred.name, []).append(gate)
+        indegree[gate.name] = count
+    ready = sorted(
+        (g for g in circuit.gates if indegree[g.name] == 0),
+        key=lambda g: order_index[g.name],
+    )
+    queue = deque(ready)
+    order: List[GateInstance] = []
+    while queue:
+        gate = queue.popleft()
+        order.append(gate)
+        for sink in sorted(dependents.get(gate.name, ()), key=lambda g: order_index[g.name]):
+            indegree[sink.name] -= 1
+            if indegree[sink.name] == 0:
+                queue.append(sink)
+    if len(order) != len(circuit.gates):
+        raise CircuitError("circuit contains a combinational cycle")
+    return order
+
+
+def levelize(circuit: Circuit) -> Dict[str, int]:
+    """Logic level of every gate (primary-input fanins are level 0)."""
+    levels: Dict[str, int] = {}
+    for gate in topological_gates(circuit):
+        level = 0
+        for net in gate.fanin_nets:
+            pred = circuit.driver(net)
+            if pred is not None:
+                level = max(level, levels[pred.name] + 1)
+        levels[gate.name] = level
+    return levels
+
+
+def transitive_fanin(circuit: Circuit, net: str) -> Tuple[GateInstance, ...]:
+    """All gates in the cone of ``net``, in topological order."""
+    cone = set()
+    stack = [net]
+    while stack:
+        current = stack.pop()
+        gate = circuit.driver(current)
+        if gate is None or gate.name in cone:
+            continue
+        cone.add(gate.name)
+        stack.extend(gate.fanin_nets)
+    return tuple(g for g in topological_gates(circuit) if g.name in cone)
+
+
+def reachable_from_outputs(circuit: Circuit) -> Tuple[GateInstance, ...]:
+    """Gates that feed at least one primary output (dangling logic excluded)."""
+    cone = set()
+    stack = list(circuit.outputs)
+    while stack:
+        current = stack.pop()
+        gate = circuit.driver(current)
+        if gate is None or gate.name in cone:
+            continue
+        cone.add(gate.name)
+        stack.extend(gate.fanin_nets)
+    return tuple(g for g in topological_gates(circuit) if g.name in cone)

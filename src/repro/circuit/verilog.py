@@ -1,0 +1,162 @@
+"""Structural Verilog interop for mapped netlists.
+
+Writes a mapped :class:`~repro.circuit.netlist.Circuit` as a flat
+gate-level Verilog module (one instantiation per library gate, output
+pin ``O``), and reads the same subset back.  Net names are sanitised to
+Verilog identifiers with a deterministic, collision-free mapping.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..gates.library import GateLibrary
+from .netlist import Circuit
+
+__all__ = ["write_verilog", "parse_verilog", "VerilogError"]
+
+OUTPUT_PIN = "O"
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+class VerilogError(ValueError):
+    """Raised on malformed structural Verilog input."""
+
+
+def _sanitize(names: List[str]) -> Dict[str, str]:
+    """Map arbitrary net names to unique Verilog identifiers."""
+    mapping: Dict[str, str] = {}
+    used = set()
+    for name in names:
+        candidate = name if _IDENT.match(name) else re.sub(r"[^A-Za-z0-9_$]", "_", name)
+        if not candidate or not _IDENT.match(candidate):
+            candidate = f"n_{candidate}" if candidate else "n"
+        base = candidate
+        suffix = 1
+        while candidate in used:
+            candidate = f"{base}_{suffix}"
+            suffix += 1
+        used.add(candidate)
+        mapping[name] = candidate
+    return mapping
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialise a mapped circuit as a structural Verilog module."""
+    nets = list(circuit.nets())
+    mapping = _sanitize(nets)
+    module = _sanitize([circuit.name])[circuit.name]
+    inputs = [mapping[n] for n in circuit.inputs]
+    outputs = [mapping[n] for n in circuit.outputs]
+    wires = [
+        mapping[n] for n in nets
+        if n not in circuit.inputs and n not in circuit.outputs
+    ]
+    lines = [f"module {module} ({', '.join(inputs + outputs)});"]
+    if inputs:
+        lines.append(f"  input {', '.join(inputs)};")
+    if outputs:
+        lines.append(f"  output {', '.join(outputs)};")
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    lines.append("")
+    for gate in circuit.gates:
+        ports = [f".{pin}({mapping[gate.pin_nets[pin]]})" for pin in gate.template.pins]
+        ports.append(f".{OUTPUT_PIN}({mapping[gate.output]})")
+        lines.append(f"  {gate.template.name} {gate.name} ({', '.join(ports)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*|[().,;]")
+
+
+def parse_verilog(text: str, library: GateLibrary) -> Circuit:
+    """Parse the structural subset produced by :func:`write_verilog`."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    tokens = _TOKEN.findall(text)
+    pos = 0
+
+    def peek() -> str:
+        return tokens[pos] if pos < len(tokens) else ""
+
+    def take(expected: Optional[str] = None) -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise VerilogError("unexpected end of input")
+        token = tokens[pos]
+        pos += 1
+        if expected is not None and token != expected:
+            raise VerilogError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def take_name_list(terminator: str) -> List[str]:
+        names = []
+        while True:
+            names.append(take())
+            token = take()
+            if token == terminator:
+                return names
+            if token != ",":
+                raise VerilogError(f"expected ',' or {terminator!r}, got {token!r}")
+
+    take("module")
+    name = take()
+    circuit: Optional[Circuit] = None
+    header_ports: List[str] = []
+    if peek() == "(":
+        take("(")
+        header_ports = take_name_list(")")
+        take(";")
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, Dict[str, str]]] = []
+    while True:
+        token = take()
+        if token == "endmodule":
+            break
+        if token == "input":
+            inputs.extend(take_name_list(";"))
+        elif token == "output":
+            outputs.extend(take_name_list(";"))
+        elif token == "wire":
+            take_name_list(";")
+        elif token in library:
+            instance = take()
+            take("(")
+            bindings: Dict[str, str] = {}
+            while True:
+                take(".")
+                pin = take()
+                take("(")
+                net = take()
+                take(")")
+                bindings[pin] = net
+                nxt = take()
+                if nxt == ")":
+                    break
+                if nxt != ",":
+                    raise VerilogError(f"expected ',' or ')', got {nxt!r}")
+            take(";")
+            gates.append((instance, token, bindings))
+        else:
+            raise VerilogError(f"unexpected token {token!r}")
+    circuit = Circuit(name, library)
+    for net in inputs:
+        circuit.add_input(net)
+    for net in outputs:
+        circuit.add_output(net)
+    declared = set(inputs) | set(outputs)
+    for port in header_ports:
+        if port not in declared:
+            raise VerilogError(f"port {port!r} has no input/output declaration")
+    for instance, template_name, bindings in gates:
+        if OUTPUT_PIN not in bindings:
+            raise VerilogError(f"gate {instance} lacks an {OUTPUT_PIN} connection")
+        output = bindings.pop(OUTPUT_PIN)
+        circuit.add_gate(instance, template_name, bindings, output)
+    circuit.validate()
+    return circuit

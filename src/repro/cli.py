@@ -1,0 +1,183 @@
+"""Command-line interface: ``repro-reorder`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    table1                 regenerate the motivation example (Table 1b)
+    table2                 regenerate the library configuration counts
+    table3 [--subset ...]  regenerate the main evaluation (Table 3)
+    adder [--width N]      the ripple-carry activity profile (§1.1)
+    optimize FILE.blif     map + optimise a BLIF circuit, report savings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import (
+    run_adder_activity,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table3_case,
+)
+from .analysis.report import format_percent, format_si, format_table
+from .analysis.stats import mean
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-reorder",
+        description=(
+            "Reproduction of Musoll & Cortadella (DATE 1996): transistor "
+            "reordering for low power."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="motivation gate, two activity cases")
+    sub.add_parser("table2", help="library configuration counts")
+
+    p3 = sub.add_parser("table3", help="main evaluation over the suite")
+    p3.add_argument("--subset", choices=["quick", "full"], default="quick")
+    p3.add_argument("--scenario", choices=["A", "B", "both"], default="both")
+    p3.add_argument("--seed", type=int, default=0)
+
+    pa = sub.add_parser("adder", help="ripple-carry carry activity profile")
+    pa.add_argument("--width", type=int, default=8)
+
+    po = sub.add_parser("optimize", help="map and optimise a BLIF file")
+    po.add_argument("blif", help="path to a combinational BLIF file")
+    po.add_argument("--scenario", choices=["A", "B"], default="A")
+    po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--save-blif", metavar="PATH",
+                    help="write the optimised netlist as mapped BLIF")
+    po.add_argument("--save-verilog", metavar="PATH",
+                    help="write the optimised netlist as structural Verilog")
+    return parser
+
+
+def _cmd_table1(out) -> int:
+    rows = run_table1()
+    for row in rows:
+        out.write(f"Case {row.case}: densities {row.densities}\n")
+        cells = "  ".join(f"{p:.2f}" for p in row.relative_powers)
+        out.write(f"  relative power per configuration: {cells}\n")
+        out.write(
+            f"  best is configuration #{row.best_index}, "
+            f"{format_percent(row.reduction_vs_worst)}% below the worst\n"
+        )
+    return 0
+
+
+def _cmd_table2(out) -> int:
+    from .analysis.experiments import run_table2_instances
+
+    rows = run_table2_instances()
+    out.write(format_table(
+        ("Gate", "Instances", "#C"),
+        [(gate, label, count) for gate, label, count in rows],
+        title="Table 2 - gate library",
+    ))
+    out.write("\n")
+    return 0
+
+
+def _cmd_table3(out, subset: str, scenario: str, seed: int) -> int:
+    scenarios = ("A", "B") if scenario == "both" else (scenario,)
+    results = run_table3(subset=subset, scenarios=scenarios, seed=seed)
+    for sc, rows in results.items():
+        table_rows = [
+            (r.name, r.gates,
+             format_percent(r.model_reduction),
+             format_percent(r.sim_reduction),
+             format_percent(r.delay_increase))
+            for r in rows
+        ]
+        footer = (
+            "average", "",
+            format_percent(mean([r.model_reduction for r in rows])),
+            format_percent(mean([r.sim_reduction for r in rows])),
+            format_percent(mean([r.delay_increase for r in rows])),
+        )
+        out.write(format_table(
+            ("Circuit", "G", "M%", "S%", "D%"), table_rows,
+            title=f"Table 3 - scenario {sc}", footer=footer,
+        ))
+        out.write("\n\n")
+    return 0
+
+
+def _cmd_adder(out, width: int) -> int:
+    profile = run_adder_activity(width)
+    rows = [(name, f"{density:.3f}") for name, density in profile.items()]
+    out.write(format_table(
+        ("Signal", "D (trans/cycle)"), rows,
+        title=f"{width}-bit ripple-carry adder activity (P = 0.5 everywhere)",
+    ))
+    out.write("\n")
+    return 0
+
+
+def _cmd_optimize(out, path: str, scenario: str, seed: int,
+                  save_blif: Optional[str] = None,
+                  save_verilog: Optional[str] = None) -> int:
+    from .circuit.blif import load_blif, write_mapped_blif
+    from .circuit.verilog import write_verilog
+    from .core.optimizer import optimize_circuit
+    from .sim.stimulus import ScenarioA, ScenarioB
+    from .synth.mapper import map_circuit
+    from .timing.sta import circuit_delay
+
+    network = load_blif(path)
+    circuit = map_circuit(network)
+    generator = ScenarioA(seed=seed) if scenario == "A" else ScenarioB(seed=seed)
+    stats = generator.input_stats(circuit.inputs)
+    best = optimize_circuit(circuit, stats, objective="best")
+    worst = optimize_circuit(circuit, stats, objective="worst")
+    out.write(f"circuit        : {network.name}\n")
+    out.write(f"mapped gates   : {len(circuit)}\n")
+    out.write(f"gate mix       : {circuit.gate_count_by_template()}\n")
+    out.write(f"model power    : {format_si(best.power_after, 'W')} (optimised), "
+              f"{format_si(worst.power_after, 'W')} (worst ordering)\n")
+    saving = 1.0 - best.power_after / worst.power_after if worst.power_after else 0.0
+    out.write(f"best vs worst  : {format_percent(saving)}% power reduction\n")
+    d0 = circuit_delay(circuit)
+    d1 = circuit_delay(best.circuit)
+    change = (d1 - d0) / d0 if d0 else 0.0
+    out.write(f"delay          : {format_si(d0, 's')} -> {format_si(d1, 's')} "
+              f"({format_percent(change)}%)\n")
+    if save_blif:
+        with open(save_blif, "w") as handle:
+            handle.write(write_mapped_blif(best.circuit))
+        out.write(f"wrote mapped BLIF to {save_blif}\n")
+    if save_verilog:
+        with open(save_verilog, "w") as handle:
+            handle.write(write_verilog(best.circuit))
+        out.write(f"wrote Verilog to {save_verilog}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1(out)
+    if args.command == "table2":
+        return _cmd_table2(out)
+    if args.command == "table3":
+        return _cmd_table3(out, args.subset, args.scenario, args.seed)
+    if args.command == "adder":
+        return _cmd_adder(out, args.width)
+    if args.command == "optimize":
+        return _cmd_optimize(out, args.blif, args.scenario, args.seed,
+                             args.save_blif, args.save_verilog)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's contribution: power model, reordering search, optimiser."""
+
+from .optimizer import (
+    CircuitPowerReport,
+    GateDecision,
+    OptimizeResult,
+    circuit_power,
+    optimize_circuit,
+)
+from .power_model import FORMULAS, GatePowerModel, GatePowerReport, NodePowerEntry
+from .reorder import (
+    ConfigEvaluation,
+    enumerate_configurations,
+    evaluate_configurations,
+    find_best_configuration,
+    find_worst_configuration,
+    pivot_search,
+)
+
+__all__ = [
+    "GatePowerModel",
+    "GatePowerReport",
+    "NodePowerEntry",
+    "FORMULAS",
+    "enumerate_configurations",
+    "pivot_search",
+    "evaluate_configurations",
+    "find_best_configuration",
+    "find_worst_configuration",
+    "ConfigEvaluation",
+    "optimize_circuit",
+    "circuit_power",
+    "OptimizeResult",
+    "GateDecision",
+    "CircuitPowerReport",
+]

@@ -1,0 +1,29 @@
+"""Gate-level substrates: SP trees, transistor networks, capacitance, library."""
+
+from .capacitance import TechParams
+from .characterize import characterize_gate, characterize_library
+from .instances import GateInstanceClass, instance_partition, instance_table
+from .library import GateConfig, GateLibrary, GateTemplate, default_library
+from .network import CompiledGate, Transistor, TransistorNetwork, compile_gate
+from .sptree import Leaf, Parallel, Series, SPTree
+
+__all__ = [
+    "TechParams",
+    "GateConfig",
+    "GateLibrary",
+    "GateTemplate",
+    "default_library",
+    "CompiledGate",
+    "Transistor",
+    "TransistorNetwork",
+    "compile_gate",
+    "Leaf",
+    "Parallel",
+    "Series",
+    "SPTree",
+    "instance_partition",
+    "instance_table",
+    "GateInstanceClass",
+    "characterize_gate",
+    "characterize_library",
+]

@@ -1,0 +1,133 @@
+"""Library characterisation: per-configuration datasheets.
+
+The paper's conclusion (a) suggests "current libraries may be upgraded
+with more instances of the gates with different transistor reorderings,
+so that an optimization algorithm can choose the best instance".  This
+module produces exactly the data such an upgraded library would ship:
+for every configuration of every cell, the internal-node capacitances,
+the per-pin and worst-case Elmore delays at a reference load, and a
+reference power figure under nominal input statistics — grouped by
+layout instance (:mod:`repro.gates.instances`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..stochastic.signal import SignalStats
+from .capacitance import TechParams, internal_node_capacitance
+from .instances import GateInstanceClass, instance_partition
+from .library import GateConfig, GateLibrary, GateTemplate
+
+__all__ = [
+    "ConfigCharacterization",
+    "GateDatasheet",
+    "characterize_gate",
+    "characterize_library",
+]
+
+#: Reference input statistics for the nominal power figure.
+_REFERENCE_STATS = SignalStats(0.5, 1.0e5)
+
+
+@dataclass(frozen=True)
+class ConfigCharacterization:
+    """Electrical characterisation of one transistor ordering."""
+
+    config: GateConfig
+    instance_label: str
+    internal_capacitances: Tuple[float, ...]
+    """Sorted internal-node capacitances (F)."""
+
+    pin_delays: Dict[str, float]
+    """Worst-case pin-to-output Elmore delay (s) at the reference load."""
+
+    worst_delay: float
+    reference_power: float
+    """Modelled power (W) under nominal stats (P = 0.5, D = 100 k/s)."""
+
+
+@dataclass(frozen=True)
+class GateDatasheet:
+    """Full characterisation of one library cell."""
+
+    template: GateTemplate
+    instances: Tuple[GateInstanceClass, ...]
+    configurations: Tuple[ConfigCharacterization, ...]
+
+    @property
+    def fastest(self) -> ConfigCharacterization:
+        return min(self.configurations, key=lambda c: (c.worst_delay, c.config.key()))
+
+    @property
+    def lowest_power(self) -> ConfigCharacterization:
+        return min(
+            self.configurations, key=lambda c: (c.reference_power, c.config.key())
+        )
+
+    @property
+    def power_spread(self) -> float:
+        """Best-vs-worst reference-power spread (fraction of the worst)."""
+        powers = [c.reference_power for c in self.configurations]
+        worst = max(powers)
+        return 1.0 - min(powers) / worst if worst > 0.0 else 0.0
+
+    @property
+    def speed_power_conflict(self) -> bool:
+        """True when the fastest ordering is not the lowest-power one.
+
+        This is the tension the paper highlights: the delay rule of
+        thumb (critical transistor near the output) contradicts the
+        low-power placement in general.
+        """
+        return self.fastest.config.key() != self.lowest_power.config.key()
+
+
+def characterize_gate(template: GateTemplate,
+                      tech: Optional[TechParams] = None,
+                      load: float = 10.0e-15,
+                      stats: Optional[Dict[str, SignalStats]] = None) -> GateDatasheet:
+    """Characterise every configuration of one gate."""
+    from ..core.power_model import GatePowerModel
+    from ..timing.elmore import gate_pin_delay
+
+    tech = tech if tech is not None else TechParams()
+    model = GatePowerModel(tech)
+    if stats is None:
+        stats = {pin: _REFERENCE_STATS for pin in template.pins}
+    instances = tuple(instance_partition(template))
+    label_of: Dict[tuple, str] = {}
+    for cls in instances:
+        for config in cls.configurations:
+            label_of[config.key()] = cls.label
+    characterizations: List[ConfigCharacterization] = []
+    for config in template.configurations():
+        compiled = template.compile_config(config)
+        caps = tuple(sorted(
+            internal_node_capacitance(compiled, node, tech)
+            for node in compiled.internal_nodes
+        ))
+        pin_delays = {
+            pin: gate_pin_delay(compiled, config, pin, tech, load)
+            for pin in template.pins
+        }
+        report = model.gate_power(compiled, stats, output_load=load)
+        characterizations.append(
+            ConfigCharacterization(
+                config=config,
+                instance_label=label_of[config.key()],
+                internal_capacitances=caps,
+                pin_delays=pin_delays,
+                worst_delay=max(pin_delays.values()),
+                reference_power=report.total,
+            )
+        )
+    return GateDatasheet(template, instances, tuple(characterizations))
+
+
+def characterize_library(library: GateLibrary,
+                         tech: Optional[TechParams] = None,
+                         load: float = 10.0e-15) -> List[GateDatasheet]:
+    """Datasheets for the whole library."""
+    return [characterize_gate(t, tech, load) for t in library]

@@ -1,0 +1,116 @@
+"""Gate *instances*: grouping configurations by physical layout shape.
+
+The paper's Table 2 lists some gates with several **instances** — e.g.
+``oai21[A]`` implements configurations (A) and (B) of its Figure 1,
+``oai21[B]`` configurations (C) and (D).  Two configurations belong to
+the same instance when one is obtained from the other purely by
+*input reordering* (re-labelling which signal drives which transistor);
+they then share a physical layout.  Configurations in different
+instances have structurally different transistor arrangements and need
+distinct layouts, so the library must carry one cell per instance for
+the optimiser to choose from (the paper's conclusion (a): "current
+libraries may be upgraded with more instances of the gates").
+
+The grouping key is the *unlabelled* ordered topology of the (PDN, PUN)
+pair: erase the input names, keep series order.  Examples:
+
+* ``oai21``: PDN ``[(a|b) c]`` vs ``[c (a|b)]`` differ structurally ->
+  2 instances x 2 input reorderings = the 4 configurations;
+* ``nand3``: all six orderings of ``[a b c]`` share one unlabelled
+  shape -> a single instance whose 6 configurations are pure input
+  permutations;
+* ``aoi221``: the PUN series ``(P2, P2, leaf)`` can be arranged with
+  the lone transistor at the top, middle or bottom -> 3 instances,
+  matching the paper's ``aoi221[A,B,C]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .library import GateConfig, GateLibrary, GateTemplate
+from .sptree import Leaf, Parallel, Series, SPTree
+
+__all__ = ["unlabelled_key", "GateInstanceClass", "instance_partition", "instance_table"]
+
+
+def unlabelled_key(tree: SPTree) -> tuple:
+    """Structural key with input names erased.
+
+    Series order is preserved (it is the physical stacking order);
+    parallel children are sorted so branch listing order — which has no
+    electrical or layout meaning — does not split classes.
+    """
+    if isinstance(tree, Leaf):
+        return ("l",)
+    if isinstance(tree, Series):
+        return ("s",) + tuple(unlabelled_key(c) for c in tree.children)
+    keys = sorted(unlabelled_key(c) for c in tree.children)
+    return ("p",) + tuple(keys)
+
+
+@dataclass(frozen=True)
+class GateInstanceClass:
+    """One physical layout of a gate and the configurations it realises."""
+
+    template_name: str
+    label: str
+    shape: tuple
+    configurations: Tuple[GateConfig, ...]
+
+    @property
+    def name(self) -> str:
+        """Paper-style instance name, e.g. ``oai21[A]``."""
+        return f"{self.template_name}[{self.label}]"
+
+    @property
+    def num_input_reorderings(self) -> int:
+        return len(self.configurations)
+
+
+def instance_partition(template: GateTemplate) -> List[GateInstanceClass]:
+    """Partition a gate's configurations into layout instances.
+
+    Instances are labelled ``A``, ``B``, ... in the (deterministic)
+    order their shape first appears in the enumeration, mirroring the
+    paper's ``gate[A]``/``gate[B]`` notation.
+    """
+    groups: Dict[tuple, List[GateConfig]] = {}
+    order: List[tuple] = []
+    for config in template.configurations():
+        shape = (unlabelled_key(config.pdn), unlabelled_key(config.pun))
+        if shape not in groups:
+            groups[shape] = []
+            order.append(shape)
+        groups[shape].append(config)
+    classes = []
+    for index, shape in enumerate(order):
+        label = _label(index)
+        classes.append(
+            GateInstanceClass(template.name, label, shape, tuple(groups[shape]))
+        )
+    return classes
+
+
+def _label(index: int) -> str:
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    label = ""
+    index += 1
+    while index > 0:
+        index, rem = divmod(index - 1, 26)
+        label = letters[rem] + label
+    return label
+
+
+def instance_table(library: GateLibrary) -> List[Tuple[str, int, int]]:
+    """(gate, #instances, #configurations) rows — Table 2 with instances.
+
+    A gate with one instance realises all its configurations by input
+    reordering alone; gates with several need extra library cells.
+    """
+    rows = []
+    for template in library:
+        classes = instance_partition(template)
+        rows.append((template.name, len(classes), template.num_configurations()))
+    return rows

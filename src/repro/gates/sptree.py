@@ -1,0 +1,303 @@
+"""Series-parallel transistor topology trees.
+
+A static CMOS library gate is described by the series-parallel (SP)
+structure of its pull-down network (PDN); the pull-up network (PUN) is
+the structural *dual* (series <-> parallel) with the same input signals
+driving P-type devices.  An SP tree here is one of:
+
+* :class:`Leaf` — one transistor, gated by a named input signal;
+* :class:`Series` — two or more sub-networks stacked in series;
+* :class:`Parallel` — two or more sub-networks side by side.
+
+The *order* of children matters electrically only for :class:`Series`
+nodes (parallel branches join the same two electrical nodes).  The
+distinct transistor orderings of a network are therefore exactly the
+recursive permutations of series children — which this module
+enumerates — while parallel children are kept sorted by a canonical key
+so that equivalent configurations compare equal.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple, Union
+
+from ..boolean.expr import And, Expr, Not, Or, Var
+
+__all__ = [
+    "Leaf",
+    "Series",
+    "Parallel",
+    "SPTree",
+    "normalize",
+    "canonical",
+    "canonical_key",
+    "dual",
+    "leaves",
+    "transistor_count",
+    "from_expr",
+    "to_expr",
+    "num_orderings",
+    "enumerate_orderings",
+    "series_gaps",
+    "swap_gap",
+    "relabel",
+]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A single transistor gated by input ``signal``."""
+
+    signal: str
+
+    def __str__(self) -> str:
+        return self.signal
+
+
+@dataclass(frozen=True)
+class Series:
+    """Two or more sub-networks in series (order is electrically meaningful)."""
+
+    children: Tuple["SPTree", ...]
+
+    def __post_init__(self):
+        if len(self.children) < 2:
+            raise ValueError("Series needs at least two children")
+
+    def __str__(self) -> str:
+        return "[" + " ".join(str(c) for c in self.children) + "]"
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Two or more sub-networks in parallel (order is immaterial)."""
+
+    children: Tuple["SPTree", ...]
+
+    def __post_init__(self):
+        if len(self.children) < 2:
+            raise ValueError("Parallel needs at least two children")
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(c) for c in self.children) + ")"
+
+
+SPTree = Union[Leaf, Series, Parallel]
+
+
+# ----------------------------------------------------------------------
+# Normalisation and canonical form
+# ----------------------------------------------------------------------
+def normalize(tree: SPTree) -> SPTree:
+    """Flatten nested same-type compositions (series-of-series etc.)."""
+    if isinstance(tree, Leaf):
+        return tree
+    kind = type(tree)
+    flat: List[SPTree] = []
+    for child in tree.children:
+        child = normalize(child)
+        if isinstance(child, kind):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return kind(tuple(flat))
+
+
+def canonical_key(tree: SPTree) -> tuple:
+    """A hashable structural key; parallel children are order-insensitive."""
+    if isinstance(tree, Leaf):
+        return ("l", tree.signal)
+    if isinstance(tree, Series):
+        return ("s",) + tuple(canonical_key(c) for c in tree.children)
+    keys = sorted(canonical_key(c) for c in tree.children)
+    return ("p",) + tuple(keys)
+
+
+def canonical(tree: SPTree) -> SPTree:
+    """Normalise and sort parallel children into a canonical representative."""
+    tree = normalize(tree)
+    if isinstance(tree, Leaf):
+        return tree
+    children = tuple(canonical(c) for c in tree.children)
+    if isinstance(tree, Parallel):
+        children = tuple(sorted(children, key=canonical_key))
+    return type(tree)(children)
+
+
+def dual(tree: SPTree) -> SPTree:
+    """Structural dual: series <-> parallel, leaves unchanged.
+
+    The PUN of a static CMOS gate is ``dual(pdn)`` realised with P-type
+    transistors (which conduct on logic 0), so the gate output is the
+    complement of the PDN conduction function.
+    """
+    if isinstance(tree, Leaf):
+        return tree
+    children = tuple(dual(c) for c in tree.children)
+    return Parallel(children) if isinstance(tree, Series) else Series(children)
+
+
+def leaves(tree: SPTree) -> Tuple[str, ...]:
+    """Input signal names in left-to-right leaf order (duplicates possible)."""
+    if isinstance(tree, Leaf):
+        return (tree.signal,)
+    return tuple(s for c in tree.children for s in leaves(c))
+
+
+def transistor_count(tree: SPTree) -> int:
+    """Number of transistors (= leaves) in the network."""
+    return len(leaves(tree))
+
+
+def relabel(tree: SPTree, mapping) -> SPTree:
+    """Rename leaf signals through ``mapping`` (dict or callable)."""
+    fn = mapping.get if hasattr(mapping, "get") else mapping
+    if isinstance(tree, Leaf):
+        new = fn(tree.signal) if not hasattr(mapping, "get") else mapping.get(tree.signal, tree.signal)
+        return Leaf(new)
+    return type(tree)(tuple(relabel(c, mapping) for c in tree.children))
+
+
+# ----------------------------------------------------------------------
+# Expression conversion
+# ----------------------------------------------------------------------
+def from_expr(expr: Expr) -> SPTree:
+    """Build the PDN SP tree of a gate whose pull-down function is ``expr``.
+
+    ``expr`` must be an AND/OR combination of positive variables (the
+    conduction function of an N-transistor network): AND becomes series,
+    OR becomes parallel.
+    """
+    if isinstance(expr, Var):
+        return Leaf(expr.name)
+    if isinstance(expr, And):
+        return normalize(Series(tuple(from_expr(op) for op in expr.operands)))
+    if isinstance(expr, Or):
+        return normalize(Parallel(tuple(from_expr(op) for op in expr.operands)))
+    raise ValueError(f"not a series-parallel positive AND/OR expression: {expr!r}")
+
+
+def to_expr(tree: SPTree, polarity: str = "n") -> Expr:
+    """Conduction function of the network as an expression.
+
+    ``polarity='n'`` gives the PDN conduction function (leaf conducts
+    when its signal is 1); ``polarity='p'`` the PUN one (leaf conducts
+    when its signal is 0, i.e. literals are complemented).
+    """
+    if polarity not in ("n", "p"):
+        raise ValueError("polarity must be 'n' or 'p'")
+    if isinstance(tree, Leaf):
+        var: Expr = Var(tree.signal)
+        return Not(var) if polarity == "p" else var
+    parts = tuple(to_expr(c, polarity) for c in tree.children)
+    return And(parts) if isinstance(tree, Series) else Or(parts)
+
+
+# ----------------------------------------------------------------------
+# Ordering enumeration
+# ----------------------------------------------------------------------
+def num_orderings(tree: SPTree) -> int:
+    """Number of distinct transistor orderings: product of series-arity factorials.
+
+    Repeated identical children of a series node (e.g. two transistors
+    driven by the same signal) would make some permutations coincide;
+    library gates never repeat a signal, and :func:`enumerate_orderings`
+    deduplicates regardless.
+    """
+    if isinstance(tree, Leaf):
+        return 1
+    count = 1
+    for child in tree.children:
+        count *= num_orderings(child)
+    if isinstance(tree, Series):
+        count *= math.factorial(len(tree.children))
+    return count
+
+
+def enumerate_orderings(tree: SPTree) -> Iterator[SPTree]:
+    """Yield every distinct ordering of the network, canonicalised.
+
+    Series children are permuted recursively; parallel children are
+    enumerated recursively but kept canonically sorted.  Duplicates
+    (possible with repeated sub-structures) are suppressed.
+    """
+    seen = set()
+    for variant in _orderings(canonical(tree)):
+        key = _ordered_key(variant)
+        if key not in seen:
+            seen.add(key)
+            yield variant
+
+
+def _orderings(tree: SPTree) -> Iterator[SPTree]:
+    if isinstance(tree, Leaf):
+        yield tree
+        return
+    child_variant_lists = [list(_orderings(c)) for c in tree.children]
+    if isinstance(tree, Series):
+        for combo in itertools.product(*child_variant_lists):
+            for perm in itertools.permutations(combo):
+                yield Series(tuple(perm))
+    else:
+        for combo in itertools.product(*child_variant_lists):
+            yield Parallel(tuple(sorted(combo, key=_ordered_key)))
+
+
+def _ordered_key(tree: SPTree) -> tuple:
+    """Configuration identity: series order matters, parallel order does not.
+
+    Two networks whose only difference is the listing order of parallel
+    branches are electrically identical (the branches join the same two
+    nodes), so this is :func:`canonical_key`.
+    """
+    return canonical_key(tree)
+
+
+# ----------------------------------------------------------------------
+# Internal-node pivoting support (paper Figure 4)
+# ----------------------------------------------------------------------
+def series_gaps(tree: SPTree) -> List[Tuple[Tuple[int, ...], int]]:
+    """All internal electrical nodes of the network, as pivot handles.
+
+    Every gap between consecutive children of a series composition is an
+    internal node of the transistor network.  A handle is ``(path, gap)``
+    where ``path`` indexes child positions from the root down to the
+    series node and ``gap`` is the junction between its children ``gap``
+    and ``gap + 1``.
+    """
+    handles: List[Tuple[Tuple[int, ...], int]] = []
+
+    def walk(node: SPTree, path: Tuple[int, ...]) -> None:
+        if isinstance(node, Leaf):
+            return
+        if isinstance(node, Series):
+            for gap in range(len(node.children) - 1):
+                handles.append((path, gap))
+        for i, child in enumerate(node.children):
+            walk(child, path + (i,))
+
+    walk(tree, ())
+    return handles
+
+
+def swap_gap(tree: SPTree, path: Tuple[int, ...], gap: int) -> SPTree:
+    """Pivot on an internal node: transpose the two series blocks adjacent to it."""
+    if not path:
+        if not isinstance(tree, Series):
+            raise ValueError("pivot path does not address a series node")
+        children = list(tree.children)
+        if not 0 <= gap < len(children) - 1:
+            raise ValueError(f"gap {gap} out of range for arity {len(children)}")
+        children[gap], children[gap + 1] = children[gap + 1], children[gap]
+        return Series(tuple(children))
+    if isinstance(tree, Leaf):
+        raise ValueError("pivot path descends into a leaf")
+    i = path[0]
+    children = list(tree.children)
+    children[i] = swap_gap(children[i], path[1:], gap)
+    return type(tree)(tuple(children))

@@ -1,0 +1,21 @@
+"""Simulation substrates: event queue, stimulus, switch-level power sim."""
+
+from .events import Event, EventQueue
+from .logicsim import check_equivalence, count_toggles, exhaustive_vectors, random_vectors
+from .stimulus import ScenarioA, ScenarioB, Stimulus
+from .switchsim import GateEnergy, SwitchLevelSimulator, SwitchSimReport
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "ScenarioA",
+    "ScenarioB",
+    "Stimulus",
+    "SwitchLevelSimulator",
+    "SwitchSimReport",
+    "GateEnergy",
+    "check_equivalence",
+    "count_toggles",
+    "exhaustive_vectors",
+    "random_vectors",
+]

@@ -1,0 +1,72 @@
+"""Event queue for the event-driven simulators.
+
+A thin wrapper over ``heapq`` with a monotonically increasing sequence
+number so simultaneous events pop in schedule order (deterministic
+runs), plus lazy cancellation for inertial-delay modelling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A scheduled value change on a net."""
+
+    time: float
+    seq: int
+    net: str
+    value: int
+
+
+class EventQueue:
+    """Time-ordered event queue with stable tie-breaking and cancellation."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, net: str, value: int) -> Event:
+        """Add an event; returns it (the handle used for cancellation)."""
+        if time < 0.0:
+            raise ValueError("cannot schedule in negative time")
+        event = Event(time, next(self._seq), net, int(value))
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark a scheduled event as void (lazy removal)."""
+        self._cancelled.add((event.time, event.seq))
+
+    def pop(self) -> Optional[Event]:
+        """Next live event, or ``None`` when the queue is exhausted."""
+        while self._heap:
+            time, seq, event = heapq.heappop(self._heap)
+            if (time, seq) in self._cancelled:
+                self._cancelled.discard((time, seq))
+                continue
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap:
+            time, seq, _ = self._heap[0]
+            if (time, seq) in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard((time, seq))
+                continue
+            return time
+        return None

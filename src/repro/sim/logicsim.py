@@ -1,0 +1,85 @@
+"""Zero-delay logic simulation utilities.
+
+Used for functional equivalence checking (e.g. mapper output versus the
+source logic network) and for quick zero-delay activity estimates.
+Works uniformly on :class:`~repro.circuit.netlist.Circuit` and
+:class:`~repro.circuit.logic.LogicNetwork` because both expose
+``inputs``/``outputs``/``evaluate``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "random_vectors",
+    "exhaustive_vectors",
+    "outputs_equal",
+    "check_equivalence",
+    "count_toggles",
+]
+
+
+def random_vectors(input_names: Sequence[str], count: int,
+                   rng: np.random.Generator) -> List[Dict[str, bool]]:
+    """``count`` uniform random input assignments."""
+    bits = rng.integers(0, 2, size=(count, len(input_names)))
+    return [
+        {name: bool(bits[i, j]) for j, name in enumerate(input_names)}
+        for i in range(count)
+    ]
+
+
+def exhaustive_vectors(input_names: Sequence[str]) -> List[Dict[str, bool]]:
+    """All ``2**n`` assignments (keep ``n`` small)."""
+    if len(input_names) > 20:
+        raise ValueError("refusing to enumerate more than 2**20 vectors")
+    return [
+        dict(zip(input_names, combo))
+        for combo in itertools.product([False, True], repeat=len(input_names))
+    ]
+
+
+def outputs_equal(design_a, design_b, vector: Mapping[str, bool]) -> bool:
+    """Compare primary outputs of two designs on one vector."""
+    va = design_a.evaluate(vector)
+    vb = design_b.evaluate(vector)
+    return all(bool(va[o]) == bool(vb[o]) for o in design_a.outputs)
+
+
+def check_equivalence(design_a, design_b, vectors: Optional[Iterable[Mapping[str, bool]]] = None,
+                      seed: int = 0, samples: int = 256) -> bool:
+    """Equivalence check: exhaustive up to 12 inputs, sampled beyond.
+
+    Both designs must agree on input and output name sets.
+    """
+    if set(design_a.inputs) != set(design_b.inputs):
+        raise ValueError("designs have different primary inputs")
+    if set(design_a.outputs) != set(design_b.outputs):
+        raise ValueError("designs have different primary outputs")
+    if vectors is None:
+        if len(design_a.inputs) <= 12:
+            vectors = exhaustive_vectors(list(design_a.inputs))
+        else:
+            rng = np.random.default_rng(seed)
+            vectors = random_vectors(list(design_a.inputs), samples, rng)
+    return all(outputs_equal(design_a, design_b, v) for v in vectors)
+
+
+def count_toggles(design, vectors: Sequence[Mapping[str, bool]]) -> Dict[str, int]:
+    """Zero-delay toggle counts of every net across consecutive vectors."""
+    counts: Dict[str, int] = {}
+    previous: Optional[Dict[str, bool]] = None
+    for vector in vectors:
+        values = design.evaluate(vector)
+        if previous is not None:
+            for net, value in values.items():
+                if bool(previous[net]) != bool(value):
+                    counts[net] = counts.get(net, 0) + 1
+        else:
+            counts = {net: 0 for net in values}
+        previous = values
+    return counts

@@ -1,0 +1,101 @@
+"""Input stimulus for the two evaluation scenarios of the paper (§5.1).
+
+**Scenario A** — the circuit is embedded in a larger system: every
+primary input is a free-running Markov signal whose equilibrium
+probability is drawn uniformly from (0, 1) and whose transition density
+uniformly from (0, ``density_max``) transitions per second; waveforms
+have exponentially distributed intervals between transitions (the
+paper's switch-level stimulus).
+
+**Scenario B** — the circuit *is* the system: inputs come from latches
+at a fixed clock, each with probability 0.5 and density 0.5 transitions
+per cycle (a fresh Bernoulli(½) value every cycle).  In absolute time
+the density is ``0.5 / T_clk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..stochastic.signal import SignalStats, Waveform, markov_waveform
+
+__all__ = ["ScenarioA", "ScenarioB", "Stimulus"]
+
+_P_MARGIN = 0.02  # keep random probabilities strictly inside (0, 1)
+
+
+@dataclass(frozen=True)
+class Stimulus:
+    """Per-input statistics plus concrete waveforms over a time window."""
+
+    stats: Dict[str, SignalStats]
+    waveforms: Dict[str, Waveform]
+    duration: float
+
+    def event_count(self) -> int:
+        return sum(len(w[1]) for w in self.waveforms.values())
+
+
+@dataclass(frozen=True)
+class ScenarioA:
+    """Random (P, D) per input; asynchronous exponential waveforms."""
+
+    density_max: float = 1.0e6
+    seed: int = 0
+
+    def input_stats(self, input_names: Sequence[str]) -> Dict[str, SignalStats]:
+        """Draw the paper's uniform (P, D) assignment for every input."""
+        rng = np.random.default_rng(self.seed)
+        stats = {}
+        for name in input_names:
+            p = float(rng.uniform(_P_MARGIN, 1.0 - _P_MARGIN))
+            d = float(rng.uniform(0.01 * self.density_max, self.density_max))
+            stats[name] = SignalStats(p, d)
+        return stats
+
+    def generate(self, input_names: Sequence[str], duration: float,
+                 seed_offset: int = 1) -> Stimulus:
+        """Sample waveforms matching :meth:`input_stats` over ``duration``."""
+        stats = self.input_stats(input_names)
+        rng = np.random.default_rng(self.seed + seed_offset)
+        waveforms = {
+            name: markov_waveform(stats[name], duration, rng)
+            for name in input_names
+        }
+        return Stimulus(stats, waveforms, duration)
+
+
+@dataclass(frozen=True)
+class ScenarioB:
+    """Latched inputs: P = 0.5, D = 0.5 transitions/cycle at a fixed clock."""
+
+    clock_period: float = 20.0e-9
+    seed: int = 0
+
+    def input_stats(self, input_names: Sequence[str]) -> Dict[str, SignalStats]:
+        density = 0.5 / self.clock_period
+        return {name: SignalStats(0.5, density) for name in input_names}
+
+    def generate(self, input_names: Sequence[str], cycles: int,
+                 seed_offset: int = 1) -> Stimulus:
+        """Fresh Bernoulli(½) values at every clock edge for ``cycles`` cycles."""
+        if cycles < 1:
+            raise ValueError("need at least one cycle")
+        rng = np.random.default_rng(self.seed + seed_offset)
+        duration = cycles * self.clock_period
+        stats = self.input_stats(input_names)
+        waveforms: Dict[str, Waveform] = {}
+        for name in input_names:
+            bits = rng.integers(0, 2, size=cycles)
+            initial = int(bits[0])
+            times: List[float] = []
+            current = initial
+            for k in range(1, cycles):
+                if int(bits[k]) != current:
+                    times.append(k * self.clock_period)
+                    current = int(bits[k])
+            waveforms[name] = (initial, tuple(times))
+        return Stimulus(stats, waveforms, duration)

@@ -1,0 +1,5 @@
+"""Stochastic signal modelling: (P, D) pairs, waveforms, propagation engines."""
+
+from .signal import SignalStats, markov_waveform, measure_waveform
+
+__all__ = ["SignalStats", "markov_waveform", "measure_waveform"]

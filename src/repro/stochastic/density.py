@@ -1,0 +1,89 @@
+"""Transition-density propagation (Najm, DAC'91) for mapped circuits.
+
+``D(y) = Σ_i P(∂y/∂x_i) · D(x_i)`` — the transition density of a gate
+output is the sum over inputs of the input density weighted by the
+probability of the Boolean difference.  Two engines:
+
+* :func:`propagate_stats` with ``method="local"`` — gate-local Boolean
+  differences with fanin-independence, one topological sweep; this is
+  what the paper's optimisation loop (CALCULATE_DENS) uses.
+* ``method="exact"`` — Boolean differences of the *global* functions
+  with respect to the primary inputs, computed on ROBDDs; handles
+  reconvergent correlation of the probabilities exactly.
+
+Both return a full net-to-:class:`SignalStats` map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..circuit.netlist import Circuit
+from ..circuit.topology import topological_gates
+from .probability import build_global_bdds
+from .signal import SignalStats
+
+__all__ = ["propagate_stats", "local_stats", "exact_stats"]
+
+_EPS = 1e-12
+
+
+def _clamp(probability: float, density: float) -> SignalStats:
+    probability = min(1.0, max(0.0, probability))
+    if density > 0.0:
+        probability = min(1.0 - _EPS, max(_EPS, probability))
+    return SignalStats(probability, density)
+
+
+def local_stats(circuit: Circuit,
+                input_stats: Mapping[str, SignalStats]) -> Dict[str, SignalStats]:
+    """One topological sweep with gate-local Boolean differences."""
+    stats: Dict[str, SignalStats] = {}
+    for net in circuit.inputs:
+        stats[net] = input_stats[net]
+    for gate in topological_gates(circuit):
+        compiled = gate.compiled()
+        pins = gate.template.pins
+        pin_probs = {pin: stats[gate.pin_nets[pin]].probability for pin in pins}
+        probability = compiled.output_tt.probability(pin_probs)
+        density = 0.0
+        for pin in pins:
+            d_in = stats[gate.pin_nets[pin]].density
+            if d_in:
+                diff = compiled.output_tt.boolean_difference(pin)
+                density += diff.probability(pin_probs) * d_in
+        stats[gate.output] = _clamp(probability, density)
+    return stats
+
+
+def exact_stats(circuit: Circuit,
+                input_stats: Mapping[str, SignalStats]) -> Dict[str, SignalStats]:
+    """Global-BDD probabilities and primary-input-level Boolean differences."""
+    _, funcs = build_global_bdds(circuit)
+    input_probs = {net: input_stats[net].probability for net in circuit.inputs}
+    stats: Dict[str, SignalStats] = {net: input_stats[net] for net in circuit.inputs}
+    for net, func in funcs.items():
+        if net in stats:
+            continue
+        probability = func.probability(input_probs)
+        density = 0.0
+        for pi in func.support():
+            d_in = input_stats[pi].density
+            if d_in:
+                density += func.boolean_difference(pi).probability(input_probs) * d_in
+        stats[net] = _clamp(probability, density)
+    return stats
+
+
+def propagate_stats(circuit: Circuit,
+                    input_stats: Mapping[str, SignalStats],
+                    method: str = "local") -> Dict[str, SignalStats]:
+    """Dispatch to :func:`local_stats` or :func:`exact_stats`."""
+    missing = [n for n in circuit.inputs if n not in input_stats]
+    if missing:
+        raise KeyError(f"missing input statistics for {missing}")
+    if method == "local":
+        return local_stats(circuit, input_stats)
+    if method == "exact":
+        return exact_stats(circuit, input_stats)
+    raise ValueError(f"unknown method {method!r}; use 'local' or 'exact'")

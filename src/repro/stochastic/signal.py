@@ -1,0 +1,137 @@
+"""Stochastic signal model: 0-1 stationary Markov processes.
+
+The paper characterises every logic signal by two numbers (its
+Definitions 3.3 and 3.4):
+
+* the **equilibrium probability** ``P(x)`` — the stationary probability
+  that the signal is logic 1, and
+* the **transition density** ``D(x)`` — the average number of signal
+  transitions (both directions) per time unit.
+
+:class:`SignalStats` carries the pair.  :func:`markov_waveform` draws a
+sample path of the corresponding two-state continuous-time Markov
+process: exponential dwell times with means chosen so that the process
+has exactly the requested stationary probability and transition density
+(mean high dwell ``2P/D``, mean low dwell ``2(1-P)/D``; interarrival
+times between consecutive transitions then average ``1/D`` as in the
+paper's experiments).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SignalStats", "markov_waveform", "measure_waveform", "Waveform"]
+
+#: A sample path: initial value plus sorted transition times.
+Waveform = Tuple[int, Tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class SignalStats:
+    """Equilibrium probability and transition density of a logic signal.
+
+    ``density`` is in transitions per second for free-running signals
+    (the paper's Scenario A) or transitions per cycle for latched ones
+    (Scenario B); the power model is agnostic as long as the time unit
+    is used consistently.
+    """
+
+    probability: float
+    density: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+        if self.density < 0.0:
+            raise ValueError(f"density {self.density} must be non-negative")
+        if self.density > 0.0 and self.probability in (0.0, 1.0):
+            raise ValueError("a switching signal cannot have probability exactly 0 or 1")
+
+    @property
+    def mean_high_dwell(self) -> float:
+        """Mean time spent at logic 1 between transitions (``2P/D``)."""
+        if self.density == 0.0:
+            return math.inf
+        return 2.0 * self.probability / self.density
+
+    @property
+    def mean_low_dwell(self) -> float:
+        """Mean time spent at logic 0 between transitions (``2(1-P)/D``)."""
+        if self.density == 0.0:
+            return math.inf
+        return 2.0 * (1.0 - self.probability) / self.density
+
+    @staticmethod
+    def constant(value: bool) -> "SignalStats":
+        """A signal stuck at 0 or 1."""
+        return SignalStats(1.0 if value else 0.0, 0.0)
+
+
+def markov_waveform(
+    stats: SignalStats,
+    duration: float,
+    rng: np.random.Generator,
+) -> Waveform:
+    """Sample a waveform of ``stats`` over ``[0, duration)``.
+
+    Returns ``(initial_value, transition_times)``; the signal toggles at
+    each listed time.  The initial value is drawn from the stationary
+    distribution, so concatenated statistics are unbiased.
+    """
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    initial = int(rng.random() < stats.probability)
+    if stats.density == 0.0:
+        return initial, ()
+    times: List[float] = []
+    t = 0.0
+    value = initial
+    # The first dwell of a stationary alternating renewal process is
+    # length-biased; for exponential dwells the residual time is again
+    # exponential with the same mean, so plain sampling is exact.
+    mean_dwell = (stats.mean_high_dwell, stats.mean_low_dwell)
+    while True:
+        t += rng.exponential(mean_dwell[1 - value] if value == 0 else mean_dwell[0])
+        if t >= duration:
+            break
+        times.append(t)
+        value ^= 1
+    return initial, tuple(times)
+
+
+def measure_waveform(waveform: Waveform, duration: float) -> SignalStats:
+    """Empirical (P, D) of a sampled waveform over ``[0, duration)``."""
+    initial, times = waveform
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    high_time = 0.0
+    t_prev = 0.0
+    value = initial
+    for t in times:
+        if value:
+            high_time += t - t_prev
+        t_prev = t
+        value ^= 1
+    if value:
+        high_time += duration - t_prev
+    probability = min(1.0, max(0.0, high_time / duration))
+    density = len(times) / duration
+    if density > 0.0:
+        probability = min(1.0 - 1e-12, max(1e-12, probability))
+    return SignalStats(probability, density)
+
+
+def merge_measurements(measurements: Sequence[SignalStats]) -> SignalStats:
+    """Average (P, D) across equally weighted measurement windows."""
+    if not measurements:
+        raise ValueError("no measurements to merge")
+    p = sum(m.probability for m in measurements) / len(measurements)
+    d = sum(m.density for m in measurements) / len(measurements)
+    if d > 0.0:
+        p = min(1.0 - 1e-12, max(1e-12, p))
+    return SignalStats(p, d)

@@ -1,0 +1,19 @@
+"""Synthesis substrates: SOP covers, AIGs, cut enumeration, tech mapping."""
+
+from .aig import AIG, aig_from_logic_network
+from .cuts import enumerate_cuts
+from .mapper import PatternIndex, TechMapper, map_circuit
+from .sop import cover_to_expr, cube_contains, merge_cubes, simplify_cover
+
+__all__ = [
+    "AIG",
+    "aig_from_logic_network",
+    "enumerate_cuts",
+    "PatternIndex",
+    "TechMapper",
+    "map_circuit",
+    "simplify_cover",
+    "cover_to_expr",
+    "cube_contains",
+    "merge_cubes",
+]

@@ -1,0 +1,67 @@
+"""K-feasible cut enumeration on and-inverter graphs.
+
+A *cut* of node ``n`` is a set of nodes (leaves) such that every path
+from the primary inputs to ``n`` crosses a leaf; a cut is k-feasible
+when it has at most ``k`` leaves.  Cuts are enumerated bottom-up: the
+cuts of an AND node are the pairwise unions of its fanin cuts (plus the
+trivial cut ``{n}``), pruned for dominance and capped per node — the
+standard FlowMap/ABC scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .aig import AIG, lit_node
+
+__all__ = ["enumerate_cuts", "Cut"]
+
+#: A cut: sorted tuple of leaf node indices.
+Cut = Tuple[int, ...]
+
+
+def _dominated(cut: Cut, others: List[Cut]) -> bool:
+    cut_set = set(cut)
+    for other in others:
+        if other != cut and set(other) <= cut_set:
+            return True
+    return False
+
+
+def enumerate_cuts(aig: AIG, k: int = 6, max_cuts: int = 16) -> Dict[int, List[Cut]]:
+    """All (pruned) k-feasible cuts of every node.
+
+    Primary inputs get only their trivial cut.  The trivial cut of each
+    AND node is always kept in addition to up to ``max_cuts`` merged
+    cuts (smallest first), so downstream matching always has the
+    fallback decomposition available.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    cuts: Dict[int, List[Cut]] = {}
+    for node in range(aig.num_nodes):
+        if node == 0:
+            cuts[node] = [()]  # the constant has an empty cut
+            continue
+        if aig.is_pi(node):
+            cuts[node] = [(node,)]
+            continue
+        a, b = aig.fanins(node)
+        na, nb = lit_node(a), lit_node(b)
+        merged: List[Cut] = []
+        seen = set()
+        for cut_a in cuts[na]:
+            for cut_b in cuts[nb]:
+                union = tuple(sorted(set(cut_a) | set(cut_b)))
+                if len(union) > k or union in seen:
+                    continue
+                seen.add(union)
+                merged.append(union)
+        merged = [c for c in merged if not _dominated(c, merged)]
+        merged.sort(key=lambda c: (len(c), c))
+        trivial = (node,)
+        result = merged[:max_cuts]
+        if trivial not in result:
+            result.append(trivial)
+        cuts[node] = result
+    return cuts

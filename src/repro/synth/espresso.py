@@ -1,0 +1,124 @@
+"""Two-level minimisation: a compact espresso-style EXPAND / IRREDUNDANT loop.
+
+The MCNC covers that feed the mapper are often redundant; shrinking them
+first shrinks the AIG and therefore the mapped netlist.  This module
+implements the exact-on-small-inputs core of the espresso loop:
+
+* ``EXPAND`` — raise each cube against the OFF-set (computed exactly
+  from the cover's truth table, so node support must stay within
+  :data:`MAX_EXACT_VARS` inputs; larger nodes pass through untouched);
+* ``IRREDUNDANT`` — greedily drop cubes covered by the rest;
+* iterate to a fixpoint.
+
+The result is a prime and irredundant cover of exactly the same
+function — verified by construction against the truth table and by the
+property tests in ``tests/test_espresso.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..boolean.truthtable import TruthTable
+from ..circuit.logic import LogicNetwork, LogicNode
+from .sop import cover_to_expr, simplify_cover
+
+__all__ = ["minimize_cover", "minimize_network", "MAX_EXACT_VARS"]
+
+#: Nodes with more inputs than this skip exact minimisation (dense truth
+#: tables get expensive); the cheap :func:`simplify_cover` still runs.
+MAX_EXACT_VARS = 12
+
+
+def _cover_truthtable(patterns: Sequence[str], variables: Tuple[str, ...]) -> TruthTable:
+    return cover_to_expr(patterns, variables).to_truthtable(variables)
+
+
+def _cube_truthtable(pattern: str, variables: Tuple[str, ...]) -> TruthTable:
+    tt = TruthTable.constant(variables, True)
+    for char, var in zip(pattern, variables):
+        if char == "1":
+            tt = tt & TruthTable.variable(variables, var)
+        elif char == "0":
+            tt = tt & ~TruthTable.variable(variables, var)
+    return tt
+
+
+def _expand_cube(pattern: str, off_set: TruthTable,
+                 variables: Tuple[str, ...]) -> str:
+    """Raise literals of a cube as long as it stays off the OFF-set.
+
+    Literals are tried in a fixed order, so expansion is deterministic;
+    the result is a prime implicant containing the input cube.
+    """
+    current = list(pattern)
+    for i in range(len(current)):
+        if current[i] == "-":
+            continue
+        saved = current[i]
+        current[i] = "-"
+        candidate = "".join(current)
+        if (_cube_truthtable(candidate, variables) & off_set).bits != 0:
+            current[i] = saved  # raising this literal hits the OFF-set
+    return "".join(current)
+
+
+def _irredundant(patterns: List[str], variables: Tuple[str, ...]) -> List[str]:
+    """Greedily drop cubes whose minterms are covered by the others."""
+    kept = list(patterns)
+    # Try dropping the largest cubes last (they are likely essential).
+    order = sorted(range(len(kept)), key=lambda i: kept[i].count("-"))
+    target = _cover_truthtable(kept, variables)
+    for index in order:
+        trial = [kept[i] for i in range(len(kept)) if i != index and kept[i] is not None]
+        trial = [p for p in trial if p is not None]
+        if kept[index] is None:
+            continue
+        without = [p for j, p in enumerate(kept) if j != index and p is not None]
+        if without and _cover_truthtable(without, variables) == target:
+            kept[index] = None
+    return [p for p in kept if p is not None]
+
+
+def minimize_cover(patterns: Sequence[str], num_inputs: int) -> Tuple[str, ...]:
+    """Minimise an ON-set cover; the function is preserved exactly.
+
+    Returns a prime, irredundant cover when ``num_inputs`` allows the
+    exact OFF-set computation, otherwise the adjacency-merged cover of
+    :func:`repro.synth.sop.simplify_cover`.
+    """
+    patterns = list(simplify_cover(patterns))
+    if not patterns or num_inputs == 0:
+        return tuple(patterns)
+    if num_inputs > MAX_EXACT_VARS:
+        return tuple(patterns)
+    variables = tuple(f"v{i}" for i in range(num_inputs))
+    on_set = _cover_truthtable(patterns, variables)
+    if on_set.is_constant():
+        return ("-" * num_inputs,) if on_set.constant_value() else ()
+    off_set = ~on_set
+    previous: Optional[List[str]] = None
+    current = patterns
+    for _ in range(8):  # fixpoint loop; converges in 1-2 rounds in practice
+        expanded = [_expand_cube(p, off_set, variables) for p in current]
+        expanded = list(dict.fromkeys(expanded))
+        reduced = _irredundant(expanded, variables)
+        if reduced == previous:
+            break
+        previous = current = reduced
+    assert _cover_truthtable(current, variables) == on_set
+    return tuple(current)
+
+
+def minimize_network(network: LogicNetwork) -> LogicNetwork:
+    """Minimise every node cover of a logic network (same I/O behaviour)."""
+    result = LogicNetwork(network.name)
+    for net in network.inputs:
+        result.add_input(net)
+    for node in network.nodes:
+        patterns = [c.pattern for c in node.cubes]
+        minimized = minimize_cover(patterns, len(node.inputs))
+        result.add_cover(node.name, node.inputs, minimized, node.phase)
+    for net in network.outputs:
+        result.add_output(net)
+    return result

@@ -1,0 +1,125 @@
+"""Sum-of-products cover manipulation.
+
+A light-weight cube calculus used on the way from BLIF covers to the
+and-inverter subject graph: single-cube containment removal and
+distance-1 cube merging (the cheap core of espresso's EXPAND/IRREDUNDANT
+loop).  Covers are tuples of pattern strings over ``{'0','1','-'}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..boolean.expr import And, Const, Expr, Not, Or, Var
+
+__all__ = [
+    "cube_contains",
+    "cube_distance",
+    "merge_cubes",
+    "simplify_cover",
+    "cover_to_expr",
+]
+
+
+def cube_contains(general: str, specific: str) -> bool:
+    """True when cube ``general`` covers every minterm of ``specific``."""
+    if len(general) != len(specific):
+        raise ValueError("cube arity mismatch")
+    for g, s in zip(general, specific):
+        if g != "-" and g != s:
+            return False
+    return True
+
+
+def cube_distance(a: str, b: str) -> int:
+    """Number of positions where the cubes have opposing literals."""
+    if len(a) != len(b):
+        raise ValueError("cube arity mismatch")
+    return sum(
+        1 for x, y in zip(a, b) if x != "-" and y != "-" and x != y
+    )
+
+
+def merge_cubes(a: str, b: str) -> Optional[str]:
+    """Merge two cubes differing in exactly one opposing literal.
+
+    ``10- + 11- -> 1--`` (the classic consensus/adjacency rule); returns
+    ``None`` when the cubes are not mergeable this way.
+    """
+    if len(a) != len(b):
+        raise ValueError("cube arity mismatch")
+    diff = -1
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x == y:
+            continue
+        if x == "-" or y == "-":
+            return None  # don't-care mismatch: not a pure adjacency
+        if diff >= 0:
+            return None
+        diff = i
+    if diff < 0:
+        return a  # identical cubes
+    return a[:diff] + "-" + a[diff + 1 :]
+
+
+def simplify_cover(patterns: Iterable[str]) -> Tuple[str, ...]:
+    """Iteratively merge adjacent cubes and drop contained ones.
+
+    The result covers exactly the same minterms (merging and containment
+    are both exact operations), it is just smaller — which directly
+    shrinks the AIG built from it.
+    """
+    cover: List[str] = list(dict.fromkeys(patterns))  # dedupe, keep order
+    changed = True
+    while changed:
+        changed = False
+        # Adjacency merging.
+        merged: List[str] = []
+        used = [False] * len(cover)
+        for i in range(len(cover)):
+            if used[i]:
+                continue
+            for j in range(i + 1, len(cover)):
+                if used[j]:
+                    continue
+                m = merge_cubes(cover[i], cover[j])
+                if m is not None:
+                    merged.append(m)
+                    used[i] = used[j] = True
+                    changed = True
+                    break
+            if not used[i]:
+                merged.append(cover[i])
+        cover = list(dict.fromkeys(merged))
+        # Single-cube containment.
+        kept: List[str] = []
+        for i, cube in enumerate(cover):
+            contained = any(
+                k != i and cube_contains(cover[k], cube)
+                and not (cover[k] == cube and k > i)
+                for k in range(len(cover))
+            )
+            if contained:
+                changed = True
+            else:
+                kept.append(cube)
+        cover = kept
+    return tuple(cover)
+
+
+def cover_to_expr(patterns: Sequence[str], inputs: Sequence[str]) -> Expr:
+    """OR-of-ANDs expression of a cover (constants for degenerate covers)."""
+    if not patterns:
+        return Const(False)
+    terms: List[Expr] = []
+    for pattern in patterns:
+        literals: List[Expr] = []
+        for char, name in zip(pattern, inputs):
+            if char == "1":
+                literals.append(Var(name))
+            elif char == "0":
+                literals.append(Not(Var(name)))
+        if not literals:
+            return Const(True)  # the universal cube covers everything
+        terms.append(literals[0] if len(literals) == 1 else And(tuple(literals)))
+    return terms[0] if len(terms) == 1 else Or(tuple(terms))

@@ -1,0 +1,15 @@
+"""Timing substrates: Elmore stack delays and static timing analysis."""
+
+from .elmore import gate_pin_delay, gate_worst_delay, min_path_resistance, stack_delay
+from .sta import DEFAULT_PO_LOAD, TimingReport, analyze_timing, circuit_delay
+
+__all__ = [
+    "gate_pin_delay",
+    "gate_worst_delay",
+    "min_path_resistance",
+    "stack_delay",
+    "TimingReport",
+    "analyze_timing",
+    "circuit_delay",
+    "DEFAULT_PO_LOAD",
+]

@@ -1,0 +1,151 @@
+"""Elmore delay of series-parallel transistor stacks.
+
+The delay of a CMOS gate depends on *where* in the stack the
+late-arriving input sits: when it finally turns on, only the diffusion
+nodes between its transistor and the output still have to swing (the
+nodes below were already discharged through the transistors that were
+on).  The classic rule of thumb — critical signal close to the output
+for speed — follows, and it is exactly the rule the paper observes
+often *conflicts* with the low-power ordering.
+
+For one switching pin we build the conduction path through that pin's
+transistor as an RC ladder (other series devices conducting, parallel
+side branches off but still loading the junctions with their diffusion
+terminals, exactly one branch of each parallel block on the path
+conducting) and evaluate
+
+``tau = C_out · R(rail→out) + Σ_{junctions above the pin} C_j · R(rail→j)``
+
+with delay ``ln 2 · tau``.  Nodes below the switching transistor are
+pre-discharged and contribute resistance only.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ..gates import sptree
+from ..gates.capacitance import TechParams
+from ..gates.library import GateConfig
+from ..gates.network import OUT, CompiledGate
+from ..gates.sptree import Leaf, Parallel, Series, SPTree
+
+__all__ = ["min_path_resistance", "stack_delay", "gate_pin_delay", "gate_worst_delay"]
+
+LN2 = math.log(2.0)
+
+
+def _device_resistance(tech: TechParams, ttype: str) -> float:
+    return tech.r_n if ttype == "n" else tech.r_p
+
+
+def min_path_resistance(tree: SPTree, tech: TechParams, ttype: str) -> float:
+    """Resistance of the best single conducting path through the network."""
+    if isinstance(tree, Leaf):
+        return _device_resistance(tech, ttype)
+    if isinstance(tree, Series):
+        return sum(min_path_resistance(c, tech, ttype) for c in tree.children)
+    return min(min_path_resistance(c, tech, ttype) for c in tree.children)
+
+
+def _top_terminals(tree: SPTree) -> int:
+    """Transistor terminals the network presents at its output-side node."""
+    if isinstance(tree, Leaf):
+        return 1
+    if isinstance(tree, Series):
+        return _top_terminals(tree.children[0])
+    return sum(_top_terminals(c) for c in tree.children)
+
+
+def _bottom_terminals(tree: SPTree) -> int:
+    if isinstance(tree, Leaf):
+        return 1
+    if isinstance(tree, Series):
+        return _bottom_terminals(tree.children[-1])
+    return sum(_bottom_terminals(c) for c in tree.children)
+
+
+def _ladder(tree: SPTree, pin: Optional[str], tech: TechParams,
+            ttype: str) -> Tuple[List[float], List[float], Optional[int]]:
+    """RC ladder along the conduction path, output side first.
+
+    Returns ``(resistances, junction_caps, pin_segment_index)`` where
+    ``junction_caps[i]`` loads the node between segments ``i`` and
+    ``i+1``.  ``pin`` selects which parallel branches are taken; with
+    ``pin=None`` the minimum-resistance branch is used.
+    """
+    if isinstance(tree, Leaf):
+        index = 0 if (pin is not None and tree.signal == pin) else None
+        return [_device_resistance(tech, ttype)], [], index
+    if isinstance(tree, Parallel):
+        if pin is not None and pin in sptree.leaves(tree):
+            branch = next(c for c in tree.children if pin in sptree.leaves(c))
+            return _ladder(branch, pin, tech, ttype)
+        branch = min(tree.children, key=lambda c: min_path_resistance(c, tech, ttype))
+        return _ladder(branch, None, tech, ttype)
+    # Series: concatenate child ladders with junction capacitances.
+    resistances: List[float] = []
+    caps: List[float] = []
+    pin_index: Optional[int] = None
+    for position, child in enumerate(tree.children):
+        child_pin = pin if (pin is not None and pin in sptree.leaves(child)) else None
+        r_child, c_child, p_child = _ladder(child, child_pin, tech, ttype)
+        if position > 0:
+            previous = tree.children[position - 1]
+            junction = (_bottom_terminals(previous) + _top_terminals(child)) * tech.c_diff
+            caps.append(junction)
+        if p_child is not None:
+            pin_index = len(resistances) + p_child
+        resistances.extend(r_child)
+        caps.extend(c_child)
+    return resistances, caps, pin_index
+
+
+def _mirror(tree: SPTree) -> SPTree:
+    """Reverse every series chain (PUN trees are stored vdd-side first)."""
+    if isinstance(tree, Leaf):
+        return tree
+    children = tuple(_mirror(c) for c in tree.children)
+    if isinstance(tree, Series):
+        children = tuple(reversed(children))
+    return type(tree)(children)
+
+
+def stack_delay(tree: SPTree, pin: str, output_cap: float,
+                tech: TechParams, ttype: str) -> float:
+    """Elmore delay (seconds) of the output transition caused by ``pin``.
+
+    ``tree`` must be oriented output-side first (PDN trees already are;
+    PUN trees are mirrored by the callers below).
+    """
+    if pin not in sptree.leaves(tree):
+        raise KeyError(f"pin {pin!r} not in network {tree}")
+    resistances, caps, pin_index = _ladder(tree, pin, tech, ttype)
+    if pin_index is None:  # pragma: no cover - guarded by the check above
+        raise KeyError(f"pin {pin!r} not found on conduction path")
+    suffix = [0.0] * (len(resistances) + 1)
+    for i in range(len(resistances) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + resistances[i]
+    tau = output_cap * suffix[0]
+    for j, cap in enumerate(caps):
+        if j < pin_index:  # only junctions above the switching device swing
+            tau += cap * suffix[j + 1]
+    return LN2 * tau
+
+
+def gate_pin_delay(gate: CompiledGate, config: GateConfig, pin: str,
+                   tech: TechParams, load: float) -> float:
+    """Worst of the falling (PDN) and rising (PUN) output delays for ``pin``."""
+    output_cap = gate.terminal_counts[OUT] * tech.c_diff + tech.c_wire + load
+    fall = stack_delay(config.pdn, pin, output_cap, tech, "n")
+    rise = stack_delay(_mirror(config.pun), pin, output_cap, tech, "p")
+    return max(fall, rise)
+
+
+def gate_worst_delay(gate: CompiledGate, config: GateConfig,
+                     tech: TechParams, load: float) -> float:
+    """Worst pin-to-output delay of the configuration."""
+    return max(
+        gate_pin_delay(gate, config, pin, tech, load) for pin in gate.inputs
+    )

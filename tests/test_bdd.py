@@ -1,0 +1,144 @@
+"""Tests for the ROBDD package, cross-checked against truth tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.bdd import BDD
+from repro.boolean.expr import parse_expr
+from repro.boolean.truthtable import TruthTable
+
+VARS = ("a", "b", "c", "d")
+
+
+def build_both(text):
+    """Build the same function as a BDD Func and a TruthTable."""
+    expr = parse_expr(text)
+    bdd = BDD(VARS)
+    env = {v: bdd.var(v) for v in VARS}
+    func = expr.evaluate(env)
+    tt = expr.to_truthtable(VARS)
+    return bdd, func, tt
+
+
+def assert_equivalent(func, tt):
+    for i in range(1 << len(VARS)):
+        assignment = {v: bool((i >> j) & 1) for j, v in enumerate(VARS)}
+        assert func.evaluate(assignment) == tt.evaluate(assignment)
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = BDD(VARS)
+        assert bdd.true.is_true() and bdd.false.is_false()
+        assert (~bdd.true).is_false()
+
+    def test_var(self):
+        bdd = BDD(VARS)
+        f = bdd.var("b")
+        assert f.evaluate({"a": False, "b": True, "c": False, "d": False})
+        assert not f.evaluate({"a": True, "b": False, "c": False, "d": False})
+
+    def test_unknown_var_raises(self):
+        bdd = BDD(VARS)
+        with pytest.raises(KeyError):
+            bdd.var("z")
+
+    def test_canonicity_hash_consing(self):
+        bdd = BDD(VARS)
+        f = (bdd.var("a") & bdd.var("b")) | (bdd.var("a") & bdd.var("c"))
+        g = bdd.var("a") & (bdd.var("b") | bdd.var("c"))
+        assert f.node == g.node  # identical functions share the node
+
+    def test_mixed_managers_rejected(self):
+        b1, b2 = BDD(VARS), BDD(VARS)
+        with pytest.raises(ValueError):
+            _ = b1.var("a") & b2.var("a")
+
+    def test_bool_coercion(self):
+        bdd = BDD(VARS)
+        assert (bdd.var("a") & False).is_false()
+        assert (bdd.var("a") | True).is_true()
+
+    @pytest.mark.parametrize(
+        "text",
+        ["a & b", "a | b & c", "a ^ b ^ c", "(a | b) & (c | d)", "!(a & b) | (c ^ d)"],
+    )
+    def test_equivalence_with_truthtable(self, text):
+        _, func, tt = build_both(text)
+        assert_equivalent(func, tt)
+
+
+class TestOperations:
+    def test_ite(self):
+        bdd = BDD(VARS)
+        f = bdd.ite(bdd.var("a"), bdd.var("b"), bdd.var("c"))
+        tt = parse_expr("(a & b) | (!a & c)").to_truthtable(VARS)
+        assert_equivalent(f, tt)
+
+    def test_restrict(self):
+        _, func, tt = build_both("(a | b) & c")
+        cof = func.cofactor("a", True)
+        assert_equivalent(cof, tt.cofactor("a", True))
+
+    def test_boolean_difference(self):
+        _, func, tt = build_both("(a & b) | c")
+        diff = func.boolean_difference("a")
+        assert_equivalent(diff, tt.boolean_difference("a"))
+
+    def test_exists(self):
+        bdd, func, tt = build_both("a & b & !c")
+        quantified = bdd.exists(func, ["a"])
+        expected = tt.cofactor("a", True) | tt.cofactor("a", False)
+        assert_equivalent(quantified, expected)
+
+    def test_support(self):
+        _, func, _ = build_both("a & c")
+        assert func.support() == ("a", "c")
+
+    def test_sat_count(self):
+        _, func, tt = build_both("(a | b) & (c | d)")
+        assert func.sat_count(4) == tt.count_minterms()
+
+    def test_xor_of_self_is_false(self):
+        bdd = BDD(VARS)
+        f = bdd.var("a") & bdd.var("b")
+        assert (f ^ f).is_false()
+
+
+class TestProbability:
+    def test_variable(self):
+        bdd = BDD(VARS)
+        p = bdd.var("a").probability({"a": 0.25, "b": 0.5, "c": 0.5, "d": 0.5})
+        assert p == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("text", ["a & b", "a | b", "a ^ b", "(a | b) & (c | d)"])
+    def test_matches_truthtable(self, text):
+        _, func, tt = build_both(text)
+        probs = {"a": 0.3, "b": 0.6, "c": 0.9, "d": 0.2}
+        assert func.probability(probs) == pytest.approx(tt.probability(probs))
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.lists(st.floats(min_value=0.01, max_value=0.99), min_size=4, max_size=4),
+    )
+    @settings(max_examples=40)
+    def test_random_functions_match_truthtable(self, bits, ps):
+        tt = TruthTable(VARS, bits)
+        bdd = BDD(VARS)
+        # Build the BDD minterm by minterm.
+        func = bdd.false
+        for i in tt.minterms():
+            term = bdd.true
+            for j, v in enumerate(VARS):
+                var = bdd.var(v)
+                term = term & (var if (i >> j) & 1 else ~var)
+            func = func | term
+        probs = dict(zip(VARS, ps))
+        assert func.probability(probs) == pytest.approx(tt.probability(probs))
+        for v in VARS:
+            assert func.boolean_difference(v).probability(probs) == pytest.approx(
+                tt.boolean_difference(v).probability(probs)
+            )

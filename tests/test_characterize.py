@@ -1,0 +1,71 @@
+"""Tests for library characterisation datasheets."""
+
+import pytest
+
+from repro.gates.capacitance import TechParams
+from repro.gates.characterize import characterize_gate, characterize_library
+from repro.gates.library import default_library
+from repro.stochastic.signal import SignalStats
+
+LIB = default_library()
+
+
+class TestCharacterizeGate:
+    def test_covers_all_configs(self):
+        sheet = characterize_gate(LIB["oai21"])
+        assert len(sheet.configurations) == 4
+        assert len(sheet.instances) == 2
+        labels = {c.instance_label for c in sheet.configurations}
+        assert labels == {"A", "B"}
+
+    def test_delays_and_caps_positive(self):
+        sheet = characterize_gate(LIB["aoi22"])
+        for char in sheet.configurations:
+            assert char.worst_delay > 0.0
+            assert all(d > 0.0 for d in char.pin_delays.values())
+            assert all(c > 0.0 for c in char.internal_capacitances)
+            assert char.reference_power > 0.0
+
+    def test_worst_delay_is_max_pin_delay(self):
+        sheet = characterize_gate(LIB["nand3"])
+        for char in sheet.configurations:
+            assert char.worst_delay == pytest.approx(max(char.pin_delays.values()))
+
+    def test_inverter_trivial(self):
+        sheet = characterize_gate(LIB["inv"])
+        assert len(sheet.configurations) == 1
+        assert sheet.configurations[0].internal_capacitances == ()
+        assert sheet.power_spread == 0.0
+        assert not sheet.speed_power_conflict
+
+    def test_symmetric_stats_no_power_spread_on_nand(self):
+        """With identical pin stats every nand3 ordering draws the same."""
+        sheet = characterize_gate(LIB["nand3"])
+        assert sheet.power_spread == pytest.approx(0.0, abs=1e-9)
+
+    def test_asymmetric_stats_create_spread_and_conflict(self):
+        """Skewed activity separates power optima from speed optima."""
+        template = LIB["oai21"]
+        stats = {
+            "a": SignalStats(0.5, 1.0e6),
+            "b": SignalStats(0.5, 1.0e5),
+            "c": SignalStats(0.5, 1.0e4),
+        }
+        sheet = characterize_gate(template, stats=stats)
+        assert sheet.power_spread > 0.02
+
+    def test_extremes_are_members(self):
+        sheet = characterize_gate(LIB["aoi221"])
+        keys = {c.config.key() for c in sheet.configurations}
+        assert sheet.fastest.config.key() in keys
+        assert sheet.lowest_power.config.key() in keys
+
+
+class TestCharacterizeLibrary:
+    def test_whole_library(self):
+        sheets = characterize_library(LIB, TechParams())
+        assert len(sheets) == 17
+        by_name = {s.template.name: s for s in sheets}
+        assert len(by_name["aoi222"].configurations) == 48
+        # Multi-instance cells really expose distinct layout classes.
+        assert len(by_name["aoi221"].instances) == 3

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table3_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.subset == "quick" and args.scenario == "both"
+
+
+class TestCommands:
+    def test_table1(self):
+        code, text = run_cli("table1")
+        assert code == 0
+        assert "Case 1" in text and "Case 2" in text
+        assert "%" in text
+
+    def test_table2(self):
+        code, text = run_cli("table2")
+        assert code == 0
+        assert "aoi222" in text and "48" in text
+
+    def test_adder(self):
+        code, text = run_cli("adder", "--width", "4")
+        assert code == 0
+        assert "c3" in text
+
+    def test_optimize_blif(self, tmp_path):
+        blif = tmp_path / "fa.blif"
+        blif.write_text(
+            ".model fa\n.inputs a b cin\n.outputs s\n"
+            ".names a b cin s\n100 1\n010 1\n001 1\n111 1\n.end\n"
+        )
+        code, text = run_cli("optimize", str(blif), "--scenario", "A")
+        assert code == 0
+        assert "best vs worst" in text
+        assert "power reduction" in text
+
+    def test_optimize_scenario_b(self, tmp_path):
+        blif = tmp_path / "g.blif"
+        blif.write_text(
+            ".model g\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        )
+        code, text = run_cli("optimize", str(blif), "--scenario", "B")
+        assert code == 0
+        assert "mapped gates" in text
+
+    def test_optimize_saves_netlists(self, tmp_path):
+        from repro.circuit.blif import parse_mapped_blif
+        from repro.circuit.verilog import parse_verilog
+        from repro.gates.library import default_library
+
+        blif = tmp_path / "g.blif"
+        blif.write_text(
+            ".model g\n.inputs a b c\n.outputs y\n.names a b c y\n11- 1\n--1 1\n.end\n"
+        )
+        out_blif = tmp_path / "opt.blif"
+        out_verilog = tmp_path / "opt.v"
+        code, text = run_cli(
+            "optimize", str(blif),
+            "--save-blif", str(out_blif), "--save-verilog", str(out_verilog),
+        )
+        assert code == 0
+        library = default_library()
+        circuit_b = parse_mapped_blif(out_blif.read_text(), library)
+        circuit_v = parse_verilog(out_verilog.read_text(), library)
+        assert set(circuit_b.outputs) == {"y"}
+        assert len(circuit_b) == len(circuit_v)

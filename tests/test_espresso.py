@@ -1,0 +1,94 @@
+"""Tests for the espresso-style two-level minimiser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.blif import parse_blif
+from repro.sim.logicsim import check_equivalence
+from repro.synth.espresso import minimize_cover, minimize_network
+from repro.synth.sop import cover_to_expr
+
+
+def tt_of(patterns, n):
+    variables = tuple(f"v{i}" for i in range(n))
+    return cover_to_expr(patterns, variables).to_truthtable(variables)
+
+
+class TestMinimizeCover:
+    def test_redundant_cube_removed(self):
+        # The consensus cube '1-1' is redundant for 11- + -01... build a
+        # clearly redundant case: 11-, 1-1, 111 (last one contained).
+        result = minimize_cover(["11-", "1-1", "111"], 3)
+        assert tt_of(result, 3) == tt_of(["11-", "1-1"], 3)
+        assert len(result) == 2
+
+    def test_expansion_to_primes(self):
+        # f = a (as two halves '10'+'11' over vars a,b): expands to '1-'.
+        result = minimize_cover(["10", "11"], 2)
+        assert result == ("1-",)
+
+    def test_classic_example(self):
+        # f = a'b' + a'b + ab = a' + b: two primes.
+        result = minimize_cover(["00", "01", "11"], 2)
+        assert len(result) == 2
+        assert tt_of(result, 2) == tt_of(["00", "01", "11"], 2)
+
+    def test_constant_one_collapses(self):
+        result = minimize_cover(["0-", "1-"], 2)
+        assert result == ("--",)
+
+    def test_empty_cover(self):
+        assert minimize_cover([], 3) == ()
+
+    def test_large_support_passthrough(self):
+        wide = "1" * 14
+        result = minimize_cover([wide], 14)
+        assert result == (wide,)
+
+    @given(st.sets(
+        st.text(alphabet="01-", min_size=4, max_size=4), min_size=1, max_size=8
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_function_preserved_and_no_larger(self, patterns):
+        patterns = sorted(patterns)
+        result = minimize_cover(patterns, 4)
+        assert tt_of(result, 4) == tt_of(patterns, 4)
+        assert len(result) <= len(patterns)
+
+    @given(st.sets(
+        st.text(alphabet="01-", min_size=3, max_size=3), min_size=1, max_size=6
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_irredundant(self, patterns):
+        result = minimize_cover(sorted(patterns), 3)
+        full = tt_of(result, 3)
+        for i in range(len(result)):
+            without = [p for j, p in enumerate(result) if j != i]
+            assert tt_of(without, 3) != full or not without
+
+
+class TestMinimizeNetwork:
+    def test_behaviour_preserved(self):
+        text = """
+.model redundant
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+111 1
+-11 1
+.end
+"""
+        network = parse_blif(text)
+        minimized = minimize_network(network)
+        assert check_equivalence(network, minimized)
+        assert len(minimized.node("y").cubes) < len(network.node("y").cubes)
+
+    def test_offset_phase_preserved(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 0\n11 0\n.end\n"
+        network = parse_blif(text)
+        minimized = minimize_network(network)
+        assert check_equivalence(network, minimized)
+        assert minimized.node("y").phase is False

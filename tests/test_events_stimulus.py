@@ -1,0 +1,109 @@
+"""Tests for the event queue and the scenario stimulus generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim.events import EventQueue
+from repro.sim.stimulus import ScenarioA, ScenarioB
+from repro.stochastic.signal import measure_waveform
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(3.0, "a", 1)
+        q.schedule(1.0, "b", 0)
+        q.schedule(2.0, "c", 1)
+        assert [q.pop().net for _ in range(3)] == ["b", "c", "a"]
+        assert q.pop() is None
+
+    def test_stable_tie_break(self):
+        q = EventQueue()
+        q.schedule(1.0, "first", 1)
+        q.schedule(1.0, "second", 1)
+        assert q.pop().net == "first"
+        assert q.pop().net == "second"
+
+    def test_cancellation(self):
+        q = EventQueue()
+        keep = q.schedule(1.0, "keep", 1)
+        drop = q.schedule(0.5, "drop", 1)
+        q.cancel(drop)
+        event = q.pop()
+        assert event.net == "keep"
+        assert q.pop() is None
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        drop = q.schedule(0.5, "drop", 1)
+        q.schedule(2.0, "keep", 1)
+        q.cancel(drop)
+        assert q.peek_time() == pytest.approx(2.0)
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1.0, "a", 1)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.schedule(1.0, "a", 1)
+        assert q and len(q) == 1
+
+
+class TestScenarioA:
+    def test_stats_ranges(self):
+        scenario = ScenarioA(density_max=1e6, seed=1)
+        stats = scenario.input_stats([f"i{k}" for k in range(50)])
+        for s in stats.values():
+            assert 0.0 < s.probability < 1.0
+            assert 0.0 < s.density <= 1e6
+
+    def test_deterministic_per_seed(self):
+        names = ["a", "b"]
+        s1 = ScenarioA(seed=5).input_stats(names)
+        s2 = ScenarioA(seed=5).input_stats(names)
+        s3 = ScenarioA(seed=6).input_stats(names)
+        assert s1 == s2
+        assert s1 != s3
+
+    def test_generated_waveforms_cover_duration(self):
+        scenario = ScenarioA(seed=2)
+        stimulus = scenario.generate(["a", "b"], duration=1e-3)
+        assert stimulus.duration == 1e-3
+        for initial, times in stimulus.waveforms.values():
+            assert initial in (0, 1)
+            assert all(0 < t < 1e-3 for t in times)
+
+    def test_event_count(self):
+        scenario = ScenarioA(seed=2)
+        stimulus = scenario.generate(["a"], duration=1e-3)
+        assert stimulus.event_count() == len(stimulus.waveforms["a"][1])
+
+
+class TestScenarioB:
+    def test_spec_stats(self):
+        scenario = ScenarioB(clock_period=1e-8)
+        stats = scenario.input_stats(["a"])
+        assert stats["a"].probability == 0.5
+        assert stats["a"].density == pytest.approx(0.5e8)
+
+    def test_edges_aligned_to_clock(self):
+        scenario = ScenarioB(clock_period=1e-8, seed=4)
+        stimulus = scenario.generate(["a", "b"], cycles=100)
+        for _, times in stimulus.waveforms.values():
+            for t in times:
+                cycles = t / 1e-8
+                assert abs(cycles - round(cycles)) < 1e-9
+
+    def test_measured_density_half_per_cycle(self):
+        scenario = ScenarioB(clock_period=1e-8, seed=8)
+        stimulus = scenario.generate(["a"], cycles=4000)
+        measured = measure_waveform(stimulus.waveforms["a"], stimulus.duration)
+        assert measured.density * 1e-8 == pytest.approx(0.5, abs=0.05)
+        assert measured.probability == pytest.approx(0.5, abs=0.05)
+
+    def test_bad_cycles(self):
+        with pytest.raises(ValueError):
+            ScenarioB().generate(["a"], cycles=0)

@@ -1,0 +1,116 @@
+"""Tests for the Boolean expression AST and parser."""
+
+import itertools
+
+import pytest
+
+from repro.boolean.expr import And, Const, Not, Or, Var, Xor, parse_expr
+from repro.boolean.truthtable import TruthTable
+
+
+class TestEvaluation:
+    def test_var_lookup(self):
+        assert Var("a").evaluate({"a": True}) is True
+
+    def test_const(self):
+        assert Const(True).evaluate({}) is True
+        assert Const(False).evaluate({}) is False
+
+    def test_not_on_bool(self):
+        assert Not(Var("a")).evaluate({"a": True}) is False
+
+    def test_nary_and_or_xor(self):
+        env = {"a": True, "b": False, "c": True}
+        assert And((Var("a"), Var("c"))).evaluate(env) is True
+        assert And((Var("a"), Var("b"))).evaluate(env) is False
+        assert Or((Var("b"), Var("c"))).evaluate(env) is True
+        assert Xor((Var("a"), Var("c"))).evaluate(env) is False
+
+    def test_evaluate_over_truthtables(self):
+        variables = ("a", "b")
+        env = {v: TruthTable.variable(variables, v) for v in variables}
+        tt = And((Var("a"), Not(Var("b")))).evaluate(env)
+        assert tt == TruthTable.from_function(variables, lambda e: e["a"] and not e["b"])
+
+    def test_operator_overloads(self):
+        e = (Var("a") & Var("b")) | ~Var("c")
+        assert e.evaluate({"a": True, "b": True, "c": True}) is True
+        assert e.evaluate({"a": False, "b": True, "c": True}) is False
+
+
+class TestVariables:
+    def test_first_appearance_order(self):
+        e = parse_expr("(b & a) | c | a")
+        assert e.variables() == ("b", "a", "c")
+
+    def test_to_truthtable_default_vars(self):
+        tt = parse_expr("a & b").to_truthtable()
+        assert tt.vars == ("a", "b")
+        assert tt.count_minterms() == 1
+
+    def test_to_truthtable_explicit_vars(self):
+        tt = parse_expr("a").to_truthtable(("a", "b"))
+        assert tt == TruthTable.variable(("a", "b"), "a")
+
+    def test_constant_to_truthtable(self):
+        tt = parse_expr("1").to_truthtable(("a",))
+        assert tt.is_constant() and tt.constant_value() is True
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,vector,expected",
+        [
+            ("a & b", {"a": 1, "b": 1}, True),
+            ("a * b", {"a": 1, "b": 0}, False),
+            ("a | b", {"a": 0, "b": 0}, False),
+            ("a + b", {"a": 0, "b": 1}, True),
+            ("a ^ b", {"a": 1, "b": 1}, False),
+            ("!a", {"a": 0}, True),
+            ("~a", {"a": 1}, False),
+            ("a'", {"a": 1}, False),
+            ("(a | b) & c", {"a": 1, "b": 0, "c": 1}, True),
+            ("a & b | c", {"a": 0, "b": 0, "c": 1}, True),  # & binds tighter
+            ("!(a & b)", {"a": 1, "b": 1}, False),
+            ("a''", {"a": 1}, True),
+        ],
+    )
+    def test_parse_and_eval(self, text, vector, expected):
+        env = {k: bool(v) for k, v in vector.items()}
+        assert parse_expr(text).evaluate(env) is expected
+
+    def test_precedence_matches_convention(self):
+        # OR < AND < XOR < NOT
+        e1 = parse_expr("a | b & c")
+        e2 = parse_expr("a | (b & c)")
+        for env in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("abc", env))
+            assert e1.evaluate(assignment) == e2.evaluate(assignment)
+
+    def test_identifier_characters(self):
+        e = parse_expr("x[3] & y_2.z")
+        assert e.variables() == ("x[3]", "y_2.z")
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            parse_expr("a &")
+        with pytest.raises(ValueError):
+            parse_expr("(a | b")
+        with pytest.raises(ValueError):
+            parse_expr("a b")
+        with pytest.raises(ValueError):
+            parse_expr("a @ b")
+        with pytest.raises(ValueError):
+            parse_expr("")
+
+    def test_roundtrip_via_str(self):
+        for text in ["a & (b | c)", "!a | b ^ c", "(a | b) & (c | d)"]:
+            e = parse_expr(text)
+            e2 = parse_expr(str(e))
+            for env in itertools.product([False, True], repeat=4):
+                assignment = dict(zip("abcd", env))
+                assert e.evaluate(assignment) == e2.evaluate(assignment)
+
+    def test_nary_requires_operand(self):
+        with pytest.raises(ValueError):
+            And(())

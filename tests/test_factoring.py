@@ -1,0 +1,123 @@
+"""Tests for algebraic division, kernel extraction and factoring."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.factoring import (
+    cover_from_patterns,
+    divide,
+    factor,
+    factor_to_expr,
+    is_cube_free,
+    kernels,
+)
+from repro.synth.sop import cover_to_expr
+
+
+def cover(*cubes):
+    """Cover from 'ab', "a'b" style strings: lowercase var, ' = negated."""
+    result = set()
+    for text in cubes:
+        literals = set()
+        i = 0
+        while i < len(text):
+            name = text[i]
+            if i + 1 < len(text) and text[i + 1] == "'":
+                literals.add((name, False))
+                i += 2
+            else:
+                literals.add((name, True))
+                i += 1
+        result.add(frozenset(literals))
+    return frozenset(result)
+
+
+class TestDivide:
+    def test_textbook_division(self):
+        # f = ac + ad + bc + bd + e ; divisor = a + b
+        f = cover("ac", "ad", "bc", "bd", "e")
+        d = cover("a", "b")
+        quotient, remainder = divide(f, d)
+        assert quotient == cover("c", "d")
+        assert remainder == cover("e")
+
+    def test_no_quotient(self):
+        f = cover("ab")
+        d = cover("c")
+        quotient, remainder = divide(f, d)
+        assert quotient == frozenset()
+        assert remainder == f
+
+    def test_reconstruction(self):
+        f = cover("ac", "ad", "bc", "bd", "e")
+        d = cover("a", "b")
+        quotient, remainder = divide(f, d)
+        rebuilt = {
+            frozenset(q | dc) for q in quotient for dc in d
+        } | set(remainder)
+        assert frozenset(rebuilt) == f
+
+    def test_empty_divisor(self):
+        with pytest.raises(ValueError):
+            divide(cover("a"), frozenset())
+
+
+class TestKernels:
+    def test_textbook_kernels(self):
+        # f = adf + aef + bdf + bef + cdf + cef + g (classic SIS example)
+        f = cover("adf", "aef", "bdf", "bef", "cdf", "cef", "g")
+        def key(k):
+            return tuple(sorted(tuple(sorted(c)) for c in k))
+
+        ks = {key(k) for _, k in kernels(f)}
+        # a+b+c and d+e are kernels.
+        abc = key(cover("a", "b", "c"))
+        de = key(cover("d", "e"))
+        assert abc in ks
+        assert de in ks
+
+    def test_cube_free_cover_is_its_own_kernel(self):
+        f = cover("ab", "c")
+        assert is_cube_free(f)
+        assert any(k == f for _, k in kernels(f))
+
+    def test_single_cube_has_no_nontrivial_kernels(self):
+        f = cover("abc")
+        assert all(len(k) <= 1 for _, k in kernels(f))
+
+    def test_deterministic(self):
+        f = cover("ac", "ad", "bc", "bd")
+        assert kernels(f) == kernels(f)
+
+
+class TestFactor:
+    def _assert_equivalent(self, patterns, inputs):
+        flat = cover_to_expr(patterns, inputs)
+        factored = factor_to_expr(patterns, inputs)
+        for vector in itertools.product([False, True], repeat=len(inputs)):
+            env = dict(zip(inputs, vector))
+            assert flat.evaluate(env) == factored.evaluate(env), env
+
+    def test_factoring_is_equivalent(self):
+        self._assert_equivalent(["11--", "1-1-", "-111"], ("a", "b", "c", "d"))
+
+    def test_factoring_shares_literals(self):
+        # f = ac + ad + bc + bd -> (a+b)(c+d): 4 literals instead of 8.
+        expr = factor(cover("ac", "ad", "bc", "bd"))
+        assert str(expr).count("a") == 1
+        assert str(expr).count("c") == 1
+
+    def test_empty(self):
+        assert factor(frozenset()).evaluate({}) is False
+
+    @given(st.sets(
+        st.text(alphabet="01-", min_size=4, max_size=4), min_size=1, max_size=6
+    ).filter(lambda s: any(p != "----" for p in s)))
+    @settings(max_examples=60, deadline=None)
+    def test_random_covers_factor_equivalently(self, patterns):
+        inputs = ("a", "b", "c", "d")
+        patterns = sorted(patterns)
+        self._assert_equivalent(patterns, inputs)

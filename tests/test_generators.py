@@ -1,0 +1,200 @@
+"""Tests for the benchmark circuit generators and the suite."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bench import generators as g
+from repro.bench.suite import benchmark_suite, get_case
+from repro.sim.logicsim import random_vectors
+
+
+def _num(values, names):
+    return sum((1 << i) for i, n in enumerate(names) if values[n])
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 3, 5])
+    def test_adds_correctly(self, width):
+        network = g.ripple_carry_adder(width)
+        a_names = [f"a{i}" for i in range(width)]
+        b_names = [f"b{i}" for i in range(width)]
+        rng = np.random.default_rng(0)
+        for vector in random_vectors(list(network.inputs), 30, rng):
+            out = network.evaluate_outputs(vector)
+            a = _num(vector, a_names)
+            b = _num(vector, b_names)
+            cin = int(vector["cin"])
+            total = a + b + cin
+            got = sum(
+                (1 << i) for i in range(width) if out[f"s{i}"]
+            ) + (1 << width) * int(out[f"c{width-1}"])
+            assert got == total
+
+    def test_without_cin(self):
+        network = g.ripple_carry_adder(2, with_cin=False)
+        assert "cin" not in network.inputs
+        out = network.evaluate_outputs({"a0": True, "a1": True, "b0": True, "b1": True})
+        # 3 + 3 = 6 = 110b
+        assert (out["s0"], out["s1"], out["c1"]) == (False, True, True)
+
+    def test_expose_carries(self):
+        network = g.ripple_carry_adder(4, expose_carries=True)
+        for i in range(4):
+            assert f"c{i}" in network.outputs
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            g.ripple_carry_adder(0)
+
+
+class TestArrayMultiplier:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_multiplies_correctly(self, width):
+        network = g.array_multiplier(width)
+        a_names = [f"a{i}" for i in range(width)]
+        b_names = [f"b{i}" for i in range(width)]
+        outputs = network.outputs
+        for a in range(1 << width):
+            for b in range(1 << width):
+                vector = {}
+                for i in range(width):
+                    vector[f"a{i}"] = bool((a >> i) & 1)
+                    vector[f"b{i}"] = bool((b >> i) & 1)
+                out = network.evaluate_outputs(vector)
+                got = sum((1 << k) for k, name in enumerate(outputs) if out[name])
+                assert got == a * b, (a, b)
+
+
+class TestOtherGenerators:
+    def test_parity(self):
+        network = g.parity_tree(5)
+        rng = np.random.default_rng(1)
+        for vector in random_vectors(list(network.inputs), 20, rng):
+            expected = sum(vector.values()) % 2 == 1
+            assert network.evaluate_outputs(vector)[network.outputs[0]] == expected
+
+    def test_equality_comparator(self):
+        network = g.equality_comparator(3)
+        for a, b in itertools.product(range(8), repeat=2):
+            vector = {}
+            for i in range(3):
+                vector[f"a{i}"] = bool((a >> i) & 1)
+                vector[f"b{i}"] = bool((b >> i) & 1)
+            out = network.evaluate_outputs(vector)
+            assert out[network.outputs[0]] == (a == b)
+
+    def test_magnitude_comparator(self):
+        network = g.magnitude_comparator(3)
+        for a, b in itertools.product(range(8), repeat=2):
+            vector = {}
+            for i in range(3):
+                vector[f"a{i}"] = bool((a >> i) & 1)
+                vector[f"b{i}"] = bool((b >> i) & 1)
+            out = network.evaluate_outputs(vector)
+            assert out[network.outputs[0]] == (a < b)
+
+    def test_decoder_one_hot(self):
+        network = g.decoder(3)
+        for value in range(8):
+            vector = {f"s{i}": bool((value >> i) & 1) for i in range(3)}
+            vector["en"] = True
+            out = network.evaluate_outputs(vector)
+            assert sum(out.values()) == 1
+            assert out[f"o{value}"]
+            vector["en"] = False
+            out = network.evaluate_outputs(vector)
+            assert sum(out.values()) == 0
+
+    def test_mux_selects(self):
+        network = g.mux_tree(2)
+        for sel in range(4):
+            for data in range(16):
+                vector = {f"d{i}": bool((data >> i) & 1) for i in range(4)}
+                vector["s0"] = bool(sel & 1)
+                vector["s1"] = bool(sel & 2)
+                out = network.evaluate_outputs(vector)
+                assert out[network.outputs[0]] == bool((data >> sel) & 1)
+
+    def test_alu_functions(self):
+        network = g.alu_slice(2)
+        a, b = 0b10, 0b11
+        vector = {"a0": False, "a1": True, "b0": True, "b1": True}
+        expectations = {
+            (False, False): a & b,
+            (False, True): a | b,
+            (True, False): a ^ b,
+            (True, True): (a + b) & 0b11,
+        }
+        for (op1, op0), expected in expectations.items():
+            vector["op0"], vector["op1"] = op0, op1
+            out = network.evaluate_outputs(vector)
+            got = (int(out["y1"]) << 1) | int(out["y0"])
+            assert got == expected, (op1, op0)
+
+    def test_majority(self):
+        network = g.majority(5)
+        rng = np.random.default_rng(2)
+        for vector in random_vectors(list(network.inputs), 20, rng):
+            expected = sum(vector.values()) >= 3
+            assert network.evaluate_outputs(vector)["maj"] == expected
+
+    def test_majority_validation(self):
+        with pytest.raises(ValueError):
+            g.majority(4)
+
+
+class TestRandomLogic:
+    def test_deterministic(self):
+        n1 = g.random_logic(8, 15, seed=3)
+        n2 = g.random_logic(8, 15, seed=3)
+        rng = np.random.default_rng(0)
+        for vector in random_vectors(list(n1.inputs), 10, rng):
+            assert n1.evaluate_outputs(vector) == n2.evaluate_outputs(vector)
+
+    def test_no_dangling_nodes(self):
+        network = g.random_logic(10, 30, seed=9)
+        read = set()
+        for node in network.nodes:
+            read.update(node.inputs)
+        for node in network.nodes:
+            assert node.name in read or node.name in network.outputs
+
+    def test_outputs_not_constant_under_sampling(self):
+        network = g.random_logic(8, 25, seed=13)
+        rng = np.random.default_rng(1)
+        seen = {o: set() for o in network.outputs}
+        for vector in random_vectors(list(network.inputs), 64, rng):
+            out = network.evaluate_outputs(vector)
+            for o, v in out.items():
+                seen[o].add(v)
+        constant = [o for o, vals in seen.items() if len(vals) == 1]
+        assert len(constant) <= len(network.outputs) // 4
+
+
+class TestSuite:
+    def test_full_suite_size_and_validity(self):
+        cases = benchmark_suite("full")
+        assert len(cases) == 30
+        names = [c.name for c in cases]
+        assert len(set(names)) == 30
+        for case in cases:
+            network = case.network()  # validates internally
+            assert len(network.inputs) >= 1
+            assert len(network.outputs) >= 1
+
+    def test_quick_subset(self):
+        quick = benchmark_suite("quick")
+        assert 5 <= len(quick) <= 15
+        full_names = {c.name for c in benchmark_suite("full")}
+        assert all(c.name in full_names for c in quick)
+
+    def test_get_case(self):
+        assert get_case("c17").name == "c17"
+        with pytest.raises(KeyError):
+            get_case("nope")
+
+    def test_unknown_subset(self):
+        with pytest.raises(ValueError):
+            benchmark_suite("gigantic")

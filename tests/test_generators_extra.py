@@ -1,0 +1,101 @@
+"""Tests for the additional circuit generators (encoder, shifter, csel)."""
+
+import itertools
+
+import pytest
+
+from repro.bench.generators import (
+    barrel_shifter,
+    carry_select_adder,
+    priority_encoder,
+)
+from repro.sim.logicsim import check_equivalence
+from repro.synth.mapper import map_circuit
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("width", [2, 4, 5])
+    def test_encodes_highest_request(self, width):
+        network = priority_encoder(width)
+        bits = max(1, (width - 1).bit_length())
+        for request in range(1, 1 << width):
+            vector = {f"r{i}": bool((request >> i) & 1) for i in range(width)}
+            out = network.evaluate_outputs(vector)
+            expected = max(i for i in range(width) if (request >> i) & 1)
+            got = sum((1 << j) for j in range(bits) if out[f"q{j}"])
+            assert got == expected
+            assert out["valid"]
+
+    def test_idle_when_no_request(self):
+        network = priority_encoder(4)
+        out = network.evaluate_outputs({f"r{i}": False for i in range(4)})
+        assert not out["valid"]
+
+    def test_maps_equivalently(self):
+        network = priority_encoder(5)
+        circuit = map_circuit(network)
+        assert check_equivalence(network, circuit)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            priority_encoder(1)
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("log2", [1, 2, 3])
+    def test_shifts_right_logically(self, log2):
+        network = barrel_shifter(log2)
+        width = 1 << log2
+        for data in range(1 << width) if width <= 4 else [1, 5, 0b10110101 & ((1 << width) - 1)]:
+            for shift in range(width):
+                vector = {f"d{i}": bool((data >> i) & 1) for i in range(width)}
+                for k in range(log2):
+                    vector[f"s{k}"] = bool((shift >> k) & 1)
+                out = network.evaluate_outputs(vector)
+                got = sum(
+                    (1 << i)
+                    for i, net in enumerate(network.outputs)
+                    if out[net]
+                )
+                assert got == (data >> shift), (data, shift)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barrel_shifter(0)
+
+
+class TestCarrySelectAdder:
+    @pytest.mark.parametrize("width,block", [(3, 2), (6, 4), (5, 3)])
+    def test_adds_correctly(self, width, block):
+        network = carry_select_adder(width, block)
+        # Sample the space deterministically.
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            a = int(rng.integers(0, 1 << width))
+            b = int(rng.integers(0, 1 << width))
+            cin = int(rng.integers(0, 2))
+            vector = {"cin": bool(cin)}
+            for i in range(width):
+                vector[f"a{i}"] = bool((a >> i) & 1)
+                vector[f"b{i}"] = bool((b >> i) & 1)
+            out = network.evaluate_outputs(vector)
+            got = sum((1 << i) for i in range(width) if out[f"s{i}"])
+            got += (1 << width) * int(out[f"c{width - 1}"])
+            assert got == a + b + cin, (a, b, cin)
+
+    def test_matches_ripple_adder(self):
+        """Same function as the ripple topology (different structure)."""
+        from repro.bench.generators import ripple_carry_adder
+
+        csel = carry_select_adder(4, 2)
+        rca = ripple_carry_adder(4)
+        # Output name sets coincide (s0..s3, c3, cin/a*/b* inputs).
+        assert set(csel.outputs) == set(rca.outputs)
+        assert check_equivalence(csel, rca)
+
+    def test_maps_equivalently(self):
+        network = carry_select_adder(4, 2)
+        circuit = map_circuit(network)
+        assert check_equivalence(network, circuit)

@@ -1,0 +1,61 @@
+"""Tests for the networkx graph exporters."""
+
+import networkx as nx
+import pytest
+
+from repro.circuit.graphs import circuit_graph, logic_depth_histogram, transistor_graph
+from repro.circuit.netlist import Circuit
+from repro.gates.library import default_library
+from repro.gates.network import TransistorNetwork
+from repro.gates.sptree import Leaf, Parallel, Series
+
+LIB = default_library()
+
+
+def small_circuit():
+    c = Circuit("g", LIB)
+    for n in ("a", "b"):
+        c.add_input(n)
+    c.add_output("y")
+    c.add_gate("g0", "nand2", {"a": "a", "b": "b"}, "n0")
+    c.add_gate("g1", "inv", {"a": "n0"}, "y")
+    return c
+
+
+class TestCircuitGraph:
+    def test_structure(self):
+        graph = circuit_graph(small_circuit())
+        assert graph.nodes["a"]["kind"] == "input"
+        assert graph.nodes["g0"]["template"] == "nand2"
+        assert graph.has_edge("a", "g0")
+        assert graph.has_edge("g0", "g1")
+        assert graph.edges["g0", "g1"]["net"] == "n0"
+
+    def test_acyclic(self):
+        graph = circuit_graph(small_circuit())
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_depth_histogram(self):
+        hist = logic_depth_histogram(small_circuit())
+        # g0 at level 1 (after inputs), g1 at level 2.
+        assert hist == {1: 1, 2: 1}
+
+
+class TestTransistorGraph:
+    def test_oai21_topology(self):
+        network = TransistorNetwork(
+            Series((Parallel((Leaf("a"), Leaf("b"))), Leaf("c")))
+        )
+        graph = transistor_graph(network)
+        # 6 transistors, 5 electrical nodes (vdd, vss, y, 2 internal).
+        assert graph.number_of_edges() == 6
+        assert graph.number_of_nodes() == 5
+        # There is a conducting route vdd -> y and y -> vss structurally.
+        assert nx.has_path(graph, "vdd", "y")
+        assert nx.has_path(graph, "y", "vss")
+
+    def test_edge_attributes(self):
+        network = TransistorNetwork(Leaf("a"))
+        graph = transistor_graph(network)
+        types = {d["ttype"] for _, _, d in graph.edges(data=True)}
+        assert types == {"n", "p"}

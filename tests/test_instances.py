@@ -1,0 +1,101 @@
+"""Tests for gate instance classes (the paper's gate[A]/gate[B] notation)."""
+
+import pytest
+
+from repro.gates.instances import (
+    GateInstanceClass,
+    instance_partition,
+    instance_table,
+    unlabelled_key,
+)
+from repro.gates.library import default_library
+from repro.gates.sptree import Leaf, Parallel, Series
+
+LIB = default_library()
+
+#: Expected instance counts, derived from the unlabelled-shape argument
+#: (oai21[A,B], aoi211[A,B], aoi221[A,B,C] appear in the paper's Table 2).
+EXPECTED_INSTANCES = {
+    "inv": 1,
+    "nand2": 1,
+    "nand3": 1,
+    "nand4": 1,
+    "nor2": 1,
+    "nor3": 1,
+    "nor4": 1,
+    "aoi21": 2,
+    "oai21": 2,
+    "aoi22": 1,
+    "oai22": 1,
+    "aoi211": 3,   # paper: aoi211[A,B,C]
+    "oai211": 3,
+    "aoi221": 3,   # paper: aoi221[A,B,C]
+    "oai221": 3,
+    "aoi222": 1,
+    "oai222": 1,
+}
+
+
+class TestUnlabelledKey:
+    def test_erases_names(self):
+        assert unlabelled_key(Leaf("a")) == unlabelled_key(Leaf("z"))
+
+    def test_series_order_matters(self):
+        t1 = Series((Parallel((Leaf("a"), Leaf("b"))), Leaf("c")))
+        t2 = Series((Leaf("c"), Parallel((Leaf("a"), Leaf("b")))))
+        assert unlabelled_key(t1) != unlabelled_key(t2)
+
+    def test_parallel_order_ignored(self):
+        t1 = Parallel((Series((Leaf("a"), Leaf("b"))), Leaf("c")))
+        t2 = Parallel((Leaf("x"), Series((Leaf("p"), Leaf("q")))))
+        assert unlabelled_key(t1) == unlabelled_key(t2)
+
+    def test_pure_permutation_same_shape(self):
+        t1 = Series((Leaf("a"), Leaf("b"), Leaf("c")))
+        t2 = Series((Leaf("c"), Leaf("a"), Leaf("b")))
+        assert unlabelled_key(t1) == unlabelled_key(t2)
+
+
+class TestInstancePartition:
+    def test_expected_counts(self):
+        for name, expected in EXPECTED_INSTANCES.items():
+            classes = instance_partition(LIB[name])
+            assert len(classes) == expected, name
+
+    def test_partition_covers_all_configs(self):
+        for name in ("oai21", "aoi221", "nand3"):
+            template = LIB[name]
+            classes = instance_partition(template)
+            covered = [c.key() for cls in classes for c in cls.configurations]
+            assert len(covered) == template.num_configurations()
+            assert len(set(covered)) == len(covered)
+
+    def test_oai21_two_by_two(self):
+        """oai21[A] and oai21[B] each realise two configurations (paper §5.1)."""
+        classes = instance_partition(LIB["oai21"])
+        assert sorted(c.num_input_reorderings for c in classes) == [2, 2]
+        assert [c.label for c in classes] == ["A", "B"]
+        assert classes[0].name == "oai21[A]"
+
+    def test_aoi221_three_instances_of_eight(self):
+        classes = instance_partition(LIB["aoi221"])
+        assert [c.num_input_reorderings for c in classes] == [8, 8, 8]
+
+    def test_single_instance_gates_pure_input_reordering(self):
+        """NAND/NOR families: one layout, all configs are input renamings."""
+        for name in ("nand3", "nor4", "aoi22", "oai222"):
+            classes = instance_partition(LIB[name])
+            assert len(classes) == 1, name
+            assert classes[0].num_input_reorderings == LIB[name].num_configurations()
+
+
+class TestInstanceTable:
+    def test_rows(self):
+        table = instance_table(LIB)
+        assert len(table) == 17
+        as_dict = {name: (inst, conf) for name, inst, conf in table}
+        assert as_dict["oai21"] == (2, 4)
+        assert as_dict["aoi221"] == (3, 24)
+        # Instances always divide the configuration count.
+        for name, (inst, conf) in as_dict.items():
+            assert conf % inst == 0, name

@@ -1,0 +1,122 @@
+"""End-to-end integration tests: the whole paper flow on real circuits."""
+
+import pytest
+
+from repro.bench.suite import benchmark_suite, get_case
+from repro.circuit.blif import parse_blif, parse_mapped_blif, write_mapped_blif
+from repro.core.optimizer import circuit_power, optimize_circuit
+from repro.core.power_model import GatePowerModel
+from repro.gates.capacitance import TechParams
+from repro.gates.library import default_library
+from repro.sim.logicsim import check_equivalence
+from repro.sim.stimulus import ScenarioA, ScenarioB
+from repro.sim.switchsim import SwitchLevelSimulator
+from repro.synth.mapper import map_circuit
+from repro.timing.sta import circuit_delay
+
+LIB = default_library()
+TECH = TechParams()
+
+
+@pytest.fixture(scope="module")
+def mapped_rca4():
+    network = get_case("rca4").network()
+    return network, map_circuit(network)
+
+
+class TestFullFlow:
+    def test_map_optimize_simulate_scenario_a(self, mapped_rca4):
+        network, circuit = mapped_rca4
+        scenario = ScenarioA(seed=21)
+        stats = scenario.input_stats(circuit.inputs)
+        best = optimize_circuit(circuit, stats, objective="best")
+        worst = optimize_circuit(circuit, stats, objective="worst")
+
+        # Functions preserved through mapping and reordering.
+        assert check_equivalence(network, best.circuit, samples=64)
+        assert check_equivalence(network, worst.circuit, samples=64)
+
+        # Model ordering respected.
+        assert best.power_after < worst.power_after
+
+        # Switch-level simulation agrees on the winner.
+        stimulus = scenario.generate(circuit.inputs, duration=2.5e-4)
+        p_best = SwitchLevelSimulator(best.circuit, TECH).run(stimulus).power
+        p_worst = SwitchLevelSimulator(worst.circuit, TECH).run(stimulus).power
+        assert p_best < p_worst
+
+        # Savings are paper-sized (rca4, scenario A: ~10-15 %).
+        model_saving = 1.0 - best.power_after / worst.power_after
+        sim_saving = 1.0 - p_best / p_worst
+        assert 0.03 < model_saving < 0.35
+        assert 0.02 < sim_saving < 0.35
+
+    def test_scenario_b_saves_less_than_a(self, mapped_rca4):
+        _, circuit = mapped_rca4
+        model = GatePowerModel(TECH)
+
+        stats_a = ScenarioA(seed=5).input_stats(circuit.inputs)
+        best_a = optimize_circuit(circuit, stats_a, model, objective="best")
+        worst_a = optimize_circuit(circuit, stats_a, model, objective="worst")
+        saving_a = 1.0 - best_a.power_after / worst_a.power_after
+
+        stats_b = ScenarioB(seed=5).input_stats(circuit.inputs)
+        best_b = optimize_circuit(circuit, stats_b, model, objective="best")
+        worst_b = optimize_circuit(circuit, stats_b, model, objective="worst")
+        saving_b = 1.0 - best_b.power_after / worst_b.power_after
+
+        assert saving_b < saving_a
+
+    def test_area_neutrality_through_whole_flow(self, mapped_rca4):
+        _, circuit = mapped_rca4
+        stats = ScenarioA(seed=1).input_stats(circuit.inputs)
+        best = optimize_circuit(circuit, stats, objective="best")
+        assert best.circuit.area() == circuit.area()
+        assert best.circuit.gate_count_by_template() == circuit.gate_count_by_template()
+
+    def test_mapped_blif_roundtrip_through_flow(self, mapped_rca4):
+        network, circuit = mapped_rca4
+        text = write_mapped_blif(circuit)
+        back = parse_mapped_blif(text, LIB)
+        assert check_equivalence(network, back, samples=32)
+
+    def test_delay_constrained_flow(self, mapped_rca4):
+        _, circuit = mapped_rca4
+        stats = ScenarioA(seed=8).input_stats(circuit.inputs)
+        constrained = optimize_circuit(
+            circuit, stats, objective="delay-constrained"
+        )
+        assert circuit_delay(constrained.circuit, TECH) <= circuit_delay(
+            circuit, TECH
+        ) * (1 + 1e-9)
+        assert constrained.power_after <= constrained.power_before + 1e-24
+
+
+class TestModelSimulatorConsistency:
+    """The model's absolute power must track the simulator within tens of %."""
+
+    @pytest.mark.parametrize("name", ["c17", "fa1", "mux8"])
+    def test_absolute_power_tracks_simulation(self, name):
+        network = get_case(name).network()
+        circuit = map_circuit(network)
+        scenario = ScenarioA(seed=33)
+        stats = scenario.input_stats(circuit.inputs)
+        duration = 3000.0 / 1e6
+        stimulus = scenario.generate(circuit.inputs, duration)
+        sim = SwitchLevelSimulator(circuit, TECH).run(stimulus)
+        model = circuit_power(circuit, stats)
+        ratio = model.total / sim.power
+        assert 0.5 < ratio < 2.0, f"{name}: model/sim ratio {ratio:.2f}"
+
+
+class TestSuiteSmoke:
+    @pytest.mark.parametrize("case", benchmark_suite("quick"),
+                             ids=lambda c: c.name)
+    def test_quick_suite_maps_and_optimizes(self, case):
+        network = case.network()
+        circuit = map_circuit(network)
+        assert check_equivalence(network, circuit, samples=32)
+        stats = ScenarioA(seed=0).input_stats(circuit.inputs)
+        result = optimize_circuit(circuit, stats, objective="best")
+        assert result.power_after <= result.power_before + 1e-24
+        assert circuit_delay(result.circuit, TECH) > 0.0

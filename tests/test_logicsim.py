@@ -1,0 +1,93 @@
+"""Tests for the zero-delay logic-simulation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.generators import parity_tree
+from repro.circuit.blif import parse_blif
+from repro.circuit.netlist import Circuit
+from repro.gates.library import default_library
+from repro.sim.logicsim import (
+    check_equivalence,
+    count_toggles,
+    exhaustive_vectors,
+    outputs_equal,
+    random_vectors,
+)
+
+LIB = default_library()
+
+
+def nand_circuit():
+    c = Circuit("n", LIB)
+    c.add_input("a")
+    c.add_input("b")
+    c.add_output("y")
+    c.add_gate("g0", "nand2", {"a": "a", "b": "b"}, "y")
+    return c
+
+
+def and_network():
+    return parse_blif(
+        ".model n\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+    )
+
+
+class TestVectors:
+    def test_exhaustive_count(self):
+        vectors = exhaustive_vectors(["a", "b", "c"])
+        assert len(vectors) == 8
+        assert len({tuple(sorted(v.items())) for v in vectors}) == 8
+
+    def test_exhaustive_limit(self):
+        with pytest.raises(ValueError):
+            exhaustive_vectors([f"x{i}" for i in range(21)])
+
+    def test_random_deterministic(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        assert random_vectors(["a"], 5, rng1) == random_vectors(["a"], 5, rng2)
+
+
+class TestEquivalence:
+    def test_circuit_vs_network(self):
+        assert check_equivalence(nand_circuit(), and_network())
+
+    def test_detects_difference(self):
+        c = nand_circuit()
+        different = parse_blif(
+            ".model n\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        )
+        assert not check_equivalence(c, different)
+
+    def test_io_mismatch_rejected(self):
+        other = parse_blif(
+            ".model m\n.inputs a c\n.outputs y\n.names a c y\n11 0\n.end\n"
+        )
+        with pytest.raises(ValueError):
+            check_equivalence(nand_circuit(), other)
+
+    def test_outputs_equal_single_vector(self):
+        assert outputs_equal(nand_circuit(), and_network(),
+                             {"a": True, "b": False})
+
+
+class TestToggleCounting:
+    def test_counts(self):
+        c = nand_circuit()
+        vectors = [
+            {"a": False, "b": False},  # y=1
+            {"a": True, "b": True},    # y=0
+            {"a": True, "b": False},   # y=1
+        ]
+        toggles = count_toggles(c, vectors)
+        assert toggles["y"] == 2
+        assert toggles["a"] == 1
+        assert toggles["b"] == 2
+
+    def test_parity_toggles_with_any_input(self):
+        network = parity_tree(4)
+        vectors = exhaustive_vectors(list(network.inputs))
+        toggles = count_toggles(network, vectors)
+        out = network.outputs[0]
+        assert toggles[out] > 0

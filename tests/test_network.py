@@ -1,0 +1,161 @@
+"""Tests for the transistor-network graph and H/G path extraction.
+
+Includes the paper's own Figure 2(a) worked example.
+"""
+
+import pytest
+
+from repro.boolean.expr import parse_expr
+from repro.gates import sptree
+from repro.gates.network import OUT, CompiledGate, TransistorNetwork, compile_gate
+from repro.gates.sptree import Leaf, Parallel, Series
+
+
+def oai21_network():
+    """The paper's Figure 2(a): PDN = (a1|a2)·b with the pair at the output."""
+    pdn = Series((Parallel((Leaf("a1"), Leaf("a2"))), Leaf("b")))
+    return TransistorNetwork(pdn, inputs=("a1", "a2", "b"))
+
+
+class TestConstruction:
+    def test_transistor_counts(self):
+        net = oai21_network()
+        n_types = [t for t in net.transistors if t.ttype == "n"]
+        p_types = [t for t in net.transistors if t.ttype == "p"]
+        assert len(n_types) == 3 and len(p_types) == 3
+
+    def test_internal_nodes(self):
+        net = oai21_network()
+        # One PDN junction plus one PUN junction.
+        assert len(net.internal_nodes) == 2
+
+    def test_inverter_has_no_internal_nodes(self):
+        net = TransistorNetwork(Leaf("a"))
+        assert net.internal_nodes == ()
+        assert net.output_function().bits == 0b01  # NOT a
+
+    def test_default_pun_is_dual(self):
+        net = oai21_network()
+        assert sptree.canonical_key(net.pun) == sptree.canonical_key(
+            sptree.dual(net.pdn)
+        )
+
+    def test_mismatched_pun_rejected(self):
+        pdn = Series((Leaf("a"), Leaf("b")))
+        bad_pun = Parallel((Leaf("a"), Leaf("c")))
+        with pytest.raises(ValueError):
+            TransistorNetwork(pdn, bad_pun)
+
+    def test_noncomplementary_pun_rejected(self):
+        pdn = Series((Leaf("a"), Leaf("b")))
+        bad_pun = Series((Leaf("a"), Leaf("b")))  # same topology, wrong logic
+        with pytest.raises(ValueError):
+            TransistorNetwork(pdn, bad_pun)
+
+    def test_conducts(self):
+        net = oai21_network()
+        n = next(t for t in net.transistors if t.ttype == "n")
+        p = next(t for t in net.transistors if t.ttype == "p")
+        assert n.conducts(True) and not n.conducts(False)
+        assert p.conducts(False) and not p.conducts(True)
+
+
+class TestPathFunctions:
+    def test_paper_figure_2a_h_function(self):
+        """H_n1 = (a1 + a2)·!b — the paper's worked minterm example."""
+        net = oai21_network()
+        variables = net.inputs
+        # The PDN internal node is the one whose G-function is exactly b.
+        b_tt = parse_expr("b").to_truthtable(variables)
+        pdn_node = next(n for n in net.internal_nodes if net.g_function(n) == b_tt)
+        expected_h = parse_expr("(a1 | a2) & !b").to_truthtable(variables)
+        assert net.h_function(pdn_node) == expected_h
+
+    def test_paper_figure_2a_g_function(self):
+        """G_n1 = b."""
+        net = oai21_network()
+        variables = net.inputs
+        b_tt = parse_expr("b").to_truthtable(variables)
+        assert any(net.g_function(n) == b_tt for n in net.internal_nodes)
+
+    def test_output_is_complement_of_pdn(self):
+        net = oai21_network()
+        expected = parse_expr("!((a1 | a2) & b)").to_truthtable(net.inputs)
+        assert net.output_function() == expected
+
+    def test_output_h_g_complementary(self):
+        net = oai21_network()
+        assert net.g_function(OUT) == ~net.h_function(OUT)
+
+    def test_rail_path_functions(self):
+        net = oai21_network()
+        assert net.path_function("vdd", "vdd").constant_value() is True
+
+    def test_bad_rail(self):
+        net = oai21_network()
+        with pytest.raises(ValueError):
+            net.path_function(OUT, "y")
+
+    @pytest.mark.parametrize(
+        "expr_text",
+        ["a & b", "a | b", "(a & b) | c", "(a | b) & c",
+         "(a & b) | (c & d)", "(a | b) & (c | d) & e"],
+    )
+    def test_hg_complementarity_all_gates(self, expr_text):
+        pdn = sptree.from_expr(parse_expr(expr_text))
+        net = TransistorNetwork(pdn)
+        assert net.g_function(OUT) == ~net.h_function(OUT)
+
+    def test_internal_nodes_never_shorted(self):
+        """H and G of any node can never be 1 simultaneously."""
+        for expr_text in ["(a | b) & c", "(a & b) | (c & d)", "a & b & c"]:
+            net = TransistorNetwork(sptree.from_expr(parse_expr(expr_text)))
+            for node in net.nodes:
+                h, g = net.h_function(node), net.g_function(node)
+                assert (h & g).bits == 0
+
+
+class TestCompiledGate:
+    def test_boolean_differences_present(self):
+        gate = compile_gate(sptree.from_expr(parse_expr("(a | b) & c")))
+        for node in gate.nodes:
+            for pin in gate.inputs:
+                assert (node, pin) in gate.dh
+                assert (node, pin) in gate.dg
+
+    def test_terminal_counts_oai21(self):
+        gate = CompiledGate(oai21_network())
+        # Output touches: 2 parallel N tops + 1 P drain (series bottom of PUN
+        # pair) + 1 P drain (parallel b'); PDN junction: 2 + 1; PUN junction: 2.
+        assert gate.terminal_counts[OUT] == 4
+        internal = sorted(gate.terminal_counts[n] for n in gate.internal_nodes)
+        assert internal == [2, 3]
+
+    def test_evaluate_nodes_drive_and_retain(self):
+        gate = CompiledGate(oai21_network())
+        prev = {n: 0 for n in gate.nodes}
+        # a1=1, a2=0, b=1: PDN conducts, output 0, PDN node 0.
+        m = gate.minterm_of({"a1": True, "a2": False, "b": True})
+        states = gate.evaluate_nodes(m, prev)
+        assert states[OUT] == 0
+        # a1=0, a2=0, b=0: output 1; PDN junction floats -> retains.
+        prev = dict(states)
+        m = gate.minterm_of({"a1": False, "a2": False, "b": False})
+        states = gate.evaluate_nodes(m, prev)
+        assert states[OUT] == 1
+        pdn_node = next(
+            n for n in gate.internal_nodes
+            if gate.g[n] == parse_expr("b").to_truthtable(gate.inputs)
+        )
+        assert states[pdn_node] == prev[pdn_node]  # floating: retained
+
+    def test_minterm_of_matches_pin_order(self):
+        gate = CompiledGate(oai21_network())
+        assert gate.minterm_of({"a1": True, "a2": False, "b": True}) == 0b101
+
+    def test_output_truth_table_matches_function(self):
+        gate = CompiledGate(oai21_network())
+        for m in range(8):
+            values = {p: bool((m >> j) & 1) for j, p in enumerate(gate.inputs)}
+            expected = not ((values["a1"] or values["a2"]) and values["b"])
+            assert gate.output_tt.evaluate_index(m) is expected

@@ -1,0 +1,184 @@
+"""Tests for the extended power-consumption model (paper §3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.expr import parse_expr
+from repro.core.power_model import FORMULAS, GatePowerModel
+from repro.gates import sptree
+from repro.gates.capacitance import TechParams
+from repro.gates.library import default_library
+from repro.gates.network import OUT, compile_gate
+from repro.stochastic.signal import SignalStats
+
+LIB = default_library()
+TECH = TechParams()
+
+
+def stats_for(gate, p=0.5, d=1e5):
+    return {pin: SignalStats(p, d) for pin in gate.inputs}
+
+
+class TestNodeProbability:
+    def test_output_probability_equals_function_probability(self):
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        probs = {"a": 0.3, "b": 0.7}
+        expected = gate.output_tt.probability(probs)
+        assert model.node_probability(gate, OUT, probs) == pytest.approx(expected)
+
+    def test_internal_node_steady_state(self):
+        """nand2 internal node: H = a&!b, G = b; P = P(H)/(P(H)+P(G))."""
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        node = gate.internal_nodes[0]
+        probs = {"a": 0.5, "b": 0.5}
+        ph = gate.h[node].probability(probs)
+        pg = gate.g[node].probability(probs)
+        expected = ph / (ph + pg)
+        assert model.node_probability(gate, node, probs) == pytest.approx(expected)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_in_unit_interval(self, pa, pb, pc):
+        gate = LIB["oai21"].compile_config()
+        model = GatePowerModel(TECH)
+        probs = {"a": pa, "b": pb, "c": pc}
+        for node in gate.nodes:
+            p = model.node_probability(gate, node, probs)
+            assert 0.0 <= p <= 1.0
+
+
+class TestOutputReducesToNajm:
+    """At the output node every formula must collapse to Najm's density."""
+
+    @pytest.mark.parametrize("formula", FORMULAS)
+    @pytest.mark.parametrize("gate_name", ["inv", "nand2", "nand3", "oai21", "aoi22"])
+    def test_output_transitions_equal_najm_density(self, formula, gate_name):
+        gate = LIB[gate_name].compile_config()
+        model = GatePowerModel(TECH, formula=formula)
+        stats = {
+            pin: SignalStats(0.3 + 0.1 * j, 1e4 * (j + 1))
+            for j, pin in enumerate(gate.inputs)
+        }
+        najm = model.output_density(gate, stats)
+        assert model.node_transitions(gate, OUT, stats) == pytest.approx(najm)
+
+
+class TestTransitions:
+    def test_inverter_output_density_passthrough(self):
+        gate = LIB["inv"].compile_config()
+        model = GatePowerModel(TECH)
+        stats = {"a": SignalStats(0.5, 123.0)}
+        # An inverter propagates every input transition.
+        assert model.output_density(gate, stats) == pytest.approx(123.0)
+
+    def test_zero_density_inputs_give_zero_transitions(self):
+        gate = LIB["nand3"].compile_config()
+        model = GatePowerModel(TECH)
+        stats = {pin: SignalStats.constant(True) for pin in gate.inputs}
+        for node in gate.nodes:
+            assert model.node_transitions(gate, node, stats) == 0.0
+
+    def test_transitions_nonnegative(self):
+        gate = LIB["aoi221"].compile_config()
+        model = GatePowerModel(TECH)
+        stats = stats_for(gate, 0.7, 1e6)
+        for node in gate.nodes:
+            assert model.node_transitions(gate, node, stats) >= 0.0
+
+    def test_output_only_formula_ignores_internal(self):
+        gate = LIB["nand3"].compile_config()
+        model = GatePowerModel(TECH, formula="output-only")
+        stats = stats_for(gate)
+        for node in gate.internal_nodes:
+            assert model.node_transitions(gate, node, stats) == 0.0
+
+    def test_unknown_formula_rejected(self):
+        with pytest.raises(ValueError):
+            GatePowerModel(TECH, formula="bogus")
+
+
+class TestGatePower:
+    def test_report_structure(self):
+        gate = LIB["oai21"].compile_config()
+        model = GatePowerModel(TECH)
+        report = model.gate_power(gate, stats_for(gate), output_load=5e-15)
+        assert len(report.entries) == len(gate.nodes)
+        assert report.total == pytest.approx(
+            report.internal_power + report.output_power
+        )
+        assert report.total > 0.0
+
+    def test_missing_stats_raise(self):
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        with pytest.raises(KeyError):
+            model.gate_power(gate, {"a": SignalStats(0.5, 1.0)})
+
+    def test_load_increases_output_power_only(self):
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        stats = stats_for(gate)
+        light = model.gate_power(gate, stats, output_load=0.0)
+        heavy = model.gate_power(gate, stats, output_load=50e-15)
+        assert heavy.output_power > light.output_power
+        assert heavy.internal_power == pytest.approx(light.internal_power)
+
+    def test_power_scales_linearly_with_density(self):
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        p1 = model.gate_power(gate, stats_for(gate, d=1e4)).total
+        p2 = model.gate_power(gate, stats_for(gate, d=2e4)).total
+        assert p2 == pytest.approx(2.0 * p1)
+
+    def test_power_scales_with_vdd_squared(self):
+        gate = LIB["nand2"].compile_config()
+        stats = stats_for(gate)
+        p1 = GatePowerModel(TechParams(vdd=2.0)).gate_power(gate, stats).total
+        p2 = GatePowerModel(TechParams(vdd=4.0)).gate_power(gate, stats).total
+        assert p2 == pytest.approx(4.0 * p1)
+
+    def test_inverter_has_no_internal_power(self):
+        gate = LIB["inv"].compile_config()
+        model = GatePowerModel(TECH)
+        report = model.gate_power(gate, {"a": SignalStats(0.5, 1e5)})
+        assert report.internal_power == 0.0
+        assert report.output_power > 0.0
+
+    def test_entry_lookup(self):
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        report = model.gate_power(gate, stats_for(gate))
+        assert report.entry(OUT).node == OUT
+        with pytest.raises(KeyError):
+            report.entry("nope")
+
+
+class TestOutputStats:
+    def test_all_configs_same_output_stats(self):
+        """The monotonicity precondition (paper §4.2)."""
+        model = GatePowerModel(TECH)
+        for name in ("oai21", "aoi22", "nand3"):
+            template = LIB[name]
+            stats = {
+                pin: SignalStats(0.2 + 0.1 * j, 1e4 * (1 + j))
+                for j, pin in enumerate(template.pins)
+            }
+            results = set()
+            for config in template.configurations():
+                out = model.output_stats(template.compile_config(config), stats)
+                results.add((round(out.probability, 12), round(out.density, 6)))
+            assert len(results) == 1, name
+
+    def test_output_density_example(self):
+        """nand2, P=0.5: P(dF/da) = P(b) = 0.5, so D(y) = 0.5(Da + Db)."""
+        gate = LIB["nand2"].compile_config()
+        model = GatePowerModel(TECH)
+        stats = {"a": SignalStats(0.5, 100.0), "b": SignalStats(0.5, 300.0)}
+        assert model.output_density(gate, stats) == pytest.approx(200.0)

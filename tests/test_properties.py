@@ -1,0 +1,190 @@
+"""Cross-module property tests (hypothesis) for the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.power_model import GatePowerModel
+from repro.core.reorder import (
+    enumerate_configurations,
+    evaluate_configurations,
+    pivot_search,
+)
+from repro.gates import sptree
+from repro.gates.capacitance import TechParams
+from repro.gates.library import GateConfig, default_library
+from repro.gates.network import OUT, TransistorNetwork, compile_gate
+from repro.gates.sptree import Leaf, Parallel, Series
+from repro.stochastic.signal import SignalStats
+
+LIB = default_library()
+MODEL = GatePowerModel(TechParams())
+
+
+def small_sp_trees():
+    """Random SP trees with at most ~6 distinct leaves."""
+
+    def rename_unique(tree):
+        counter = [0]
+
+        def walk(node):
+            if isinstance(node, Leaf):
+                counter[0] += 1
+                return Leaf(f"v{counter[0]}")
+            return type(node)(tuple(walk(c) for c in node.children))
+
+        return walk(tree)
+
+    leaf = st.builds(Leaf, st.just("x"))
+    inner = st.one_of(
+        leaf,
+        st.lists(leaf, min_size=2, max_size=3).map(lambda cs: Series(tuple(cs))),
+        st.lists(leaf, min_size=2, max_size=2).map(lambda cs: Parallel(tuple(cs))),
+    )
+    tree = st.one_of(
+        inner,
+        st.lists(inner, min_size=2, max_size=2).map(lambda cs: Series(tuple(cs))),
+        st.lists(inner, min_size=2, max_size=2).map(lambda cs: Parallel(tuple(cs))),
+    )
+    return tree.map(rename_unique).map(sptree.canonical).filter(
+        lambda t: len(sptree.leaves(t)) <= 6
+    )
+
+
+class TestPivotEqualsBruteForceOnRandomGates:
+    @given(small_sp_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_pivot_search_complete(self, pdn):
+        """Figure 4 enumerates exactly the permutation set on ANY SP gate."""
+        pun = sptree.dual(pdn)
+        start = GateConfig(pdn, pun)
+        discovered = {c.key() for c in pivot_search(start)}
+        expected = {
+            GateConfig(p, q).key()
+            for p in sptree.enumerate_orderings(pdn)
+            for q in sptree.enumerate_orderings(pun)
+        }
+        assert discovered == expected
+
+    @given(small_sp_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_every_ordering_same_function(self, pdn):
+        variables = tuple(sorted(sptree.leaves(pdn)))
+        reference = None
+        for config in pivot_search(GateConfig(pdn, sptree.dual(pdn))):
+            net = TransistorNetwork(config.pdn, config.pun, variables)
+            tt = net.output_function()
+            if reference is None:
+                reference = tt
+            assert tt == reference
+
+
+class TestModelInvariants:
+    @given(
+        st.sampled_from(["nand3", "oai21", "aoi22", "aoi211"]),
+        st.lists(st.floats(min_value=0.05, max_value=0.95), min_size=4, max_size=4),
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=4, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_best_min_worst_max(self, name, probs, densities):
+        template = LIB[name]
+        stats = {
+            pin: SignalStats(p, d)
+            for pin, p, d in zip(template.pins, probs, densities)
+        }
+        evaluations = evaluate_configurations(template, stats, MODEL)
+        powers = [e.power for e in evaluations]
+        assert all(p >= 0.0 for p in powers)
+        assert all(math.isfinite(p) for p in powers)
+
+    @given(
+        st.sampled_from(["nand2", "nor3", "oai21", "aoi221"]),
+        st.lists(st.floats(min_value=0.02, max_value=0.98), min_size=5, max_size=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_node_probability_steady_state_identity(self, name, probs):
+        template = LIB[name]
+        gate = template.compile_config()
+        pin_probs = dict(zip(template.pins, probs))
+        for node in gate.nodes:
+            ph = gate.h[node].probability(pin_probs)
+            pg = gate.g[node].probability(pin_probs)
+            p = MODEL.node_probability(gate, node, pin_probs)
+            if ph + pg > 1e-9:
+                # Steady state balances charge and discharge flows.
+                assert p * pg == pytest.approx((1 - p) * ph, abs=1e-9)
+
+    @given(st.sampled_from(list(LIB.names)))
+    @settings(max_examples=17, deadline=None)
+    def test_output_node_hg_complementary_every_gate(self, name):
+        gate = LIB[name].compile_config()
+        assert gate.g[OUT] == ~gate.h[OUT]
+
+    @given(
+        st.sampled_from(["nand3", "oai21", "aoi22"]),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_power_scales_linearly_in_density(self, name, factor):
+        template = LIB[name]
+        base = {
+            pin: SignalStats(0.4, 1e4 * (j + 1))
+            for j, pin in enumerate(template.pins)
+        }
+        scaled = {
+            pin: SignalStats(s.probability, s.density * factor)
+            for pin, s in base.items()
+        }
+        gate = template.compile_config()
+        p1 = MODEL.gate_power(gate, base).total
+        p2 = MODEL.gate_power(gate, scaled).total
+        assert p2 == pytest.approx(factor * p1, rel=1e-9)
+
+
+class TestSimulatorInvariants:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_nonnegative_and_consistent(self, seed):
+        from repro.circuit.netlist import Circuit
+        from repro.sim.stimulus import ScenarioA
+        from repro.sim.switchsim import SwitchLevelSimulator
+
+        c = Circuit("p", LIB)
+        for n in ("a", "b", "c"):
+            c.add_input(n)
+        c.add_output("y")
+        c.add_gate("g0", "aoi21", {"a": "a", "b": "b", "c": "c"}, "n0")
+        c.add_gate("g1", "nand2", {"a": "n0", "b": "c"}, "y")
+        scenario = ScenarioA(seed=seed)
+        stimulus = scenario.generate(c.inputs, duration=3e-5)
+        report = SwitchLevelSimulator(c).run(stimulus)
+        assert report.energy >= 0.0
+        assert report.internal_energy >= 0.0
+        for net, count in report.net_transitions.items():
+            assert count >= 0
+            assert 0.0 <= report.net_high_time[net] <= report.duration * (1 + 1e-9)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_zero_delay_never_exceeds_timed_activity(self, seed):
+        """Settled simulation is a lower bound on per-net transitions."""
+        from repro.circuit.netlist import Circuit
+        from repro.sim.stimulus import ScenarioB
+        from repro.sim.switchsim import SwitchLevelSimulator
+
+        c = Circuit("p", LIB)
+        for n in ("a", "b", "c"):
+            c.add_input(n)
+        c.add_output("y")
+        c.add_gate("g0", "inv", {"a": "a"}, "n0")
+        c.add_gate("g1", "nand3", {"a": "n0", "b": "b", "c": "c"}, "n1")
+        c.add_gate("g2", "nand2", {"a": "n1", "b": "a"}, "y")
+        stimulus = ScenarioB(seed=seed).generate(c.inputs, cycles=60)
+        timed = SwitchLevelSimulator(c, delay_mode="elmore").run(stimulus)
+        settled = SwitchLevelSimulator(c, delay_mode="zero").run(stimulus)
+        total_timed = sum(timed.net_transitions.values())
+        total_settled = sum(settled.net_transitions.values())
+        assert total_settled <= total_timed

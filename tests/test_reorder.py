@@ -1,0 +1,111 @@
+"""Tests for configuration enumeration and the Figure 4 pivot search."""
+
+import pytest
+
+from repro.core.power_model import GatePowerModel
+from repro.core.reorder import (
+    enumerate_configurations,
+    evaluate_configurations,
+    find_best_configuration,
+    find_worst_configuration,
+    pivot_search,
+)
+from repro.gates.capacitance import TechParams
+from repro.gates.library import default_library
+from repro.stochastic.signal import SignalStats
+
+LIB = default_library()
+MODEL = GatePowerModel(TechParams())
+
+
+class TestPivotSearch:
+    @pytest.mark.parametrize("name", list(LIB.names))
+    def test_pivot_search_equals_brute_force(self, name):
+        """Figure 4 generates exactly the brute-force configuration set."""
+        template = LIB[name]
+        brute = {c.key() for c in enumerate_configurations(template)}
+        pivot = {c.key() for c in pivot_search(template)}
+        assert pivot == brute
+
+    def test_figure5_execution_four_reorderings(self):
+        """The paper's Figure 5: the oai21-style gate yields 4 reorderings."""
+        configs = pivot_search(LIB["oai21"])
+        assert len(configs) == 4
+        assert configs[0].key() == LIB["oai21"].default_config().key()
+
+    def test_inverter_single_configuration(self):
+        assert len(pivot_search(LIB["inv"])) == 1
+
+    def test_discovery_order_deterministic(self):
+        a = [c.key() for c in pivot_search(LIB["aoi221"])]
+        b = [c.key() for c in pivot_search(LIB["aoi221"])]
+        assert a == b
+
+    def test_max_configs_limits_search(self):
+        configs = pivot_search(LIB["aoi222"], max_configs=5)
+        assert len(configs) <= 6  # may overshoot by the final expansion level
+
+
+class TestEvaluation:
+    def _stats(self, template, densities=None):
+        pins = template.pins
+        if densities is None:
+            densities = [1e4 * (j + 1) for j in range(len(pins))]
+        return {p: SignalStats(0.5, d) for p, d in zip(pins, densities)}
+
+    def test_evaluations_cover_all_configs(self):
+        template = LIB["oai21"]
+        evaluations = evaluate_configurations(template, self._stats(template), MODEL)
+        assert len(evaluations) == template.num_configurations()
+        assert all(e.power > 0 for e in evaluations)
+
+    def test_best_not_above_worst(self):
+        for name in ("nand3", "oai21", "aoi22", "aoi221"):
+            template = LIB[name]
+            stats = self._stats(template)
+            best = find_best_configuration(template, stats, MODEL)
+            worst = find_worst_configuration(template, stats, MODEL)
+            assert best.power <= worst.power
+
+    def test_symmetric_stats_make_ties(self):
+        """Identical input stats: every nand3 ordering has the same power."""
+        template = LIB["nand3"]
+        stats = {p: SignalStats(0.5, 1e5) for p in template.pins}
+        evaluations = evaluate_configurations(template, stats, MODEL)
+        powers = {round(e.power, 25) for e in evaluations}
+        assert len(powers) == 1
+
+    def test_asymmetric_stats_break_ties(self):
+        template = LIB["nand3"]
+        stats = {
+            "a": SignalStats(0.5, 1e4),
+            "b": SignalStats(0.5, 1e5),
+            "c": SignalStats(0.5, 1e6),
+        }
+        evaluations = evaluate_configurations(template, stats, MODEL)
+        powers = {round(e.power, 25) for e in evaluations}
+        assert len(powers) > 1
+
+    def test_best_flips_with_activity_profile(self):
+        """The Table 1 motivation: the optimum depends on the densities."""
+        template = LIB["oai21"]
+        case1 = {
+            "a": SignalStats(0.5, 1e4),
+            "b": SignalStats(0.5, 1e5),
+            "c": SignalStats(0.5, 1e6),
+        }
+        case2 = {
+            "a": SignalStats(0.5, 1e6),
+            "b": SignalStats(0.5, 1e5),
+            "c": SignalStats(0.5, 1e4),
+        }
+        best1 = find_best_configuration(template, case1, MODEL, output_load=10e-15)
+        best2 = find_best_configuration(template, case2, MODEL, output_load=10e-15)
+        assert best1.config.key() != best2.config.key()
+
+    def test_inverter_no_choice(self):
+        template = LIB["inv"]
+        stats = {"a": SignalStats(0.5, 1e5)}
+        best = find_best_configuration(template, stats, MODEL)
+        worst = find_worst_configuration(template, stats, MODEL)
+        assert best.power == pytest.approx(worst.power)

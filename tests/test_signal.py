@@ -1,0 +1,107 @@
+"""Tests for the stochastic signal model and Markov waveform sampling."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.signal import (
+    SignalStats,
+    markov_waveform,
+    measure_waveform,
+    merge_measurements,
+)
+
+
+class TestSignalStats:
+    def test_valid(self):
+        s = SignalStats(0.5, 1e6)
+        assert s.probability == 0.5 and s.density == 1e6
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            SignalStats(1.5, 0.0)
+        with pytest.raises(ValueError):
+            SignalStats(-0.1, 0.0)
+
+    def test_negative_density(self):
+        with pytest.raises(ValueError):
+            SignalStats(0.5, -1.0)
+
+    def test_switching_at_rail_rejected(self):
+        with pytest.raises(ValueError):
+            SignalStats(0.0, 100.0)
+        with pytest.raises(ValueError):
+            SignalStats(1.0, 100.0)
+
+    def test_constant(self):
+        s = SignalStats.constant(True)
+        assert s.probability == 1.0 and s.density == 0.0
+        assert math.isinf(s.mean_high_dwell)
+
+    def test_dwell_times(self):
+        s = SignalStats(0.25, 2.0)
+        # T_high + T_low = 2/D = 1; T_high = 2P/D = 0.25.
+        assert s.mean_high_dwell == pytest.approx(0.25)
+        assert s.mean_low_dwell == pytest.approx(0.75)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.1, max_value=1e6),
+    )
+    def test_dwell_identity(self, p, d):
+        s = SignalStats(p, d)
+        assert s.mean_high_dwell + s.mean_low_dwell == pytest.approx(2.0 / d)
+        total = s.mean_high_dwell + s.mean_low_dwell
+        assert s.mean_high_dwell / total == pytest.approx(p)
+
+
+class TestWaveform:
+    def test_constant_signal(self):
+        rng = np.random.default_rng(0)
+        initial, times = markov_waveform(SignalStats.constant(True), 10.0, rng)
+        assert initial == 1 and times == ()
+
+    def test_transitions_sorted_within_duration(self):
+        rng = np.random.default_rng(1)
+        _, times = markov_waveform(SignalStats(0.5, 10.0), 50.0, rng)
+        assert list(times) == sorted(times)
+        assert all(0.0 < t < 50.0 for t in times)
+
+    def test_bad_duration(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            markov_waveform(SignalStats(0.5, 1.0), 0.0, rng)
+
+    @pytest.mark.parametrize("p,d", [(0.5, 10.0), (0.2, 4.0), (0.8, 25.0)])
+    def test_statistics_converge(self, p, d):
+        """Empirical (P, D) of a long sample path match the specification."""
+        rng = np.random.default_rng(42)
+        duration = 4000.0 / d  # ~4000 expected transitions
+        waveform = markov_waveform(SignalStats(p, d), duration, rng)
+        measured = measure_waveform(waveform, duration)
+        assert measured.probability == pytest.approx(p, abs=0.05)
+        assert measured.density == pytest.approx(d, rel=0.08)
+
+    def test_measure_simple_waveform(self):
+        # 0 for [0,1), 1 for [1,3), 0 for [3,4): P = 0.5, D = 2/4.
+        measured = measure_waveform((0, (1.0, 3.0)), 4.0)
+        assert measured.probability == pytest.approx(0.5)
+        assert measured.density == pytest.approx(0.5)
+
+    def test_measure_constant(self):
+        measured = measure_waveform((1, ()), 5.0)
+        assert measured.probability == 1.0 and measured.density == 0.0
+
+
+class TestMerge:
+    def test_merge(self):
+        merged = merge_measurements([SignalStats(0.4, 2.0), SignalStats(0.6, 4.0)])
+        assert merged.probability == pytest.approx(0.5)
+        assert merged.density == pytest.approx(3.0)
+
+    def test_merge_empty(self):
+        with pytest.raises(ValueError):
+            merge_measurements([])

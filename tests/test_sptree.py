@@ -1,0 +1,196 @@
+"""Tests for series-parallel trees: duality, canonical form, orderings."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.expr import parse_expr
+from repro.gates import sptree
+from repro.gates.sptree import Leaf, Parallel, Series
+
+
+def sp_strategy(max_depth=2):
+    """Random SP trees over distinct leaf names."""
+    counter = st.shared(st.just(None))  # placeholder, names assigned post hoc
+
+    def build(depth):
+        if depth == 0:
+            return st.builds(Leaf, st.just("x"))
+        child = build(depth - 1)
+        return st.one_of(
+            st.builds(Leaf, st.just("x")),
+            st.lists(child, min_size=2, max_size=3).map(lambda cs: Series(tuple(cs))),
+            st.lists(child, min_size=2, max_size=3).map(lambda cs: Parallel(tuple(cs))),
+        )
+
+    def rename_unique(tree):
+        counter = [0]
+
+        def walk(node):
+            if isinstance(node, Leaf):
+                counter[0] += 1
+                return Leaf(f"x{counter[0]}")
+            return type(node)(tuple(walk(c) for c in node.children))
+
+        return walk(tree)
+
+    return build(max_depth).map(rename_unique)
+
+
+class TestConstruction:
+    def test_series_arity(self):
+        with pytest.raises(ValueError):
+            Series((Leaf("a"),))
+
+    def test_parallel_arity(self):
+        with pytest.raises(ValueError):
+            Parallel((Leaf("a"),))
+
+    def test_normalize_flattens_series(self):
+        t = Series((Series((Leaf("a"), Leaf("b"))), Leaf("c")))
+        assert sptree.normalize(t) == Series((Leaf("a"), Leaf("b"), Leaf("c")))
+
+    def test_normalize_flattens_parallel(self):
+        t = Parallel((Parallel((Leaf("a"), Leaf("b"))), Leaf("c")))
+        assert sptree.normalize(t) == Parallel((Leaf("a"), Leaf("b"), Leaf("c")))
+
+    def test_canonical_sorts_parallel(self):
+        t1 = Parallel((Leaf("b"), Leaf("a")))
+        t2 = Parallel((Leaf("a"), Leaf("b")))
+        assert sptree.canonical(t1) == sptree.canonical(t2)
+
+    def test_canonical_preserves_series_order(self):
+        t = Series((Leaf("b"), Leaf("a")))
+        assert sptree.canonical(t) == t
+
+
+class TestDuality:
+    def test_dual_swaps_composition(self):
+        t = Series((Parallel((Leaf("a"), Leaf("b"))), Leaf("c")))
+        d = sptree.dual(t)
+        assert isinstance(d, Parallel)
+        assert isinstance(d.children[0], Series)
+
+    @given(sp_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_dual_is_involution(self, tree):
+        assert sptree.dual(sptree.dual(tree)) == tree
+
+    @given(sp_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_dual_complements_conduction(self, tree):
+        """PDN on with inputs v  <=>  PUN (dual, P-type) off — complementarity."""
+        variables = sptree.leaves(tree)
+        pdn = sptree.to_expr(tree, "n").to_truthtable(variables)
+        pun = sptree.to_expr(sptree.dual(tree), "p").to_truthtable(variables)
+        assert pun == ~pdn
+
+
+class TestExprConversion:
+    def test_from_expr_oai21(self):
+        t = sptree.from_expr(parse_expr("(a | b) & c"))
+        assert t == Series((Parallel((Leaf("a"), Leaf("b"))), Leaf("c")))
+
+    def test_from_expr_rejects_not(self):
+        with pytest.raises(ValueError):
+            sptree.from_expr(parse_expr("!a & b"))
+
+    def test_to_expr_polarity(self):
+        t = Series((Leaf("a"), Leaf("b")))
+        n = sptree.to_expr(t, "n").to_truthtable(("a", "b"))
+        p = sptree.to_expr(t, "p").to_truthtable(("a", "b"))
+        assert n == parse_expr("a & b").to_truthtable(("a", "b"))
+        assert p == parse_expr("!a & !b").to_truthtable(("a", "b"))
+
+    def test_bad_polarity(self):
+        with pytest.raises(ValueError):
+            sptree.to_expr(Leaf("a"), "x")
+
+    @given(sp_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, tree):
+        tree = sptree.canonical(tree)
+        back = sptree.canonical(sptree.from_expr(sptree.to_expr(tree, "n")))
+        assert back == tree
+
+
+class TestOrderings:
+    def test_leaf_single_ordering(self):
+        assert sptree.num_orderings(Leaf("a")) == 1
+        assert list(sptree.enumerate_orderings(Leaf("a"))) == [Leaf("a")]
+
+    def test_series3_orderings(self):
+        t = Series((Leaf("a"), Leaf("b"), Leaf("c")))
+        orderings = list(sptree.enumerate_orderings(t))
+        assert len(orderings) == 6 == sptree.num_orderings(t)
+        assert len({sptree._ordered_key(o) for o in orderings}) == 6
+
+    def test_parallel_one_ordering(self):
+        t = Parallel((Leaf("a"), Leaf("b"), Leaf("c")))
+        assert sptree.num_orderings(t) == 1
+        assert len(list(sptree.enumerate_orderings(t))) == 1
+
+    def test_nested_counts(self):
+        # ((a|b) c) series pair: 2 orders; parallel inner: none.
+        t = sptree.from_expr(parse_expr("(a | b) & c"))
+        assert sptree.num_orderings(t) == 2
+
+    @given(sp_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_matches_count_and_function(self, tree):
+        tree = sptree.canonical(tree)
+        count = sptree.num_orderings(tree)
+        if count > 200:
+            return
+        orderings = list(sptree.enumerate_orderings(tree))
+        assert len(orderings) == count
+        variables = tuple(sorted(sptree.leaves(tree)))
+        reference = sptree.to_expr(tree, "n").to_truthtable(variables)
+        for o in orderings:
+            assert sptree.to_expr(o, "n").to_truthtable(variables) == reference
+
+
+class TestPivots:
+    def test_series_gaps(self):
+        t = sptree.from_expr(parse_expr("(a | b) & c & d"))
+        gaps = sptree.series_gaps(t)
+        assert ((), 0) in gaps and ((), 1) in gaps
+        assert len(gaps) == 2
+
+    def test_nested_gaps(self):
+        t = sptree.from_expr(parse_expr("((a & b) | c) & d"))
+        gaps = sptree.series_gaps(t)
+        # Root gap plus the gap inside the series a&b (child 0 of child 0).
+        assert ((), 0) in gaps and ((0, 0), 0) in gaps
+
+    def test_swap_gap_root(self):
+        t = Series((Leaf("a"), Leaf("b"), Leaf("c")))
+        swapped = sptree.swap_gap(t, (), 1)
+        assert swapped == Series((Leaf("a"), Leaf("c"), Leaf("b")))
+
+    def test_swap_gap_nested(self):
+        t = Parallel((Series((Leaf("a"), Leaf("b"))), Leaf("c")))
+        swapped = sptree.swap_gap(t, (0,), 0)
+        assert swapped == Parallel((Series((Leaf("b"), Leaf("a"))), Leaf("c")))
+
+    def test_swap_gap_errors(self):
+        with pytest.raises(ValueError):
+            sptree.swap_gap(Leaf("a"), (0,), 0)
+        with pytest.raises(ValueError):
+            sptree.swap_gap(Series((Leaf("a"), Leaf("b"))), (), 5)
+
+    def test_swap_is_involution(self):
+        t = sptree.from_expr(parse_expr("a & b & c"))
+        assert sptree.swap_gap(sptree.swap_gap(t, (), 0), (), 0) == t
+
+
+class TestRelabel:
+    def test_relabel_dict(self):
+        t = Series((Leaf("a"), Leaf("b")))
+        assert sptree.relabel(t, {"a": "x"}) == Series((Leaf("x"), Leaf("b")))
+
+    def test_transistor_count(self):
+        t = sptree.from_expr(parse_expr("(a | b) & (c | d)"))
+        assert sptree.transistor_count(t) == 4

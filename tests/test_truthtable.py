@@ -1,0 +1,214 @@
+"""Unit and property tests for the dense truth-table engine."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolean.truthtable import MAX_VARS, TruthTable
+
+VARS3 = ("a", "b", "c")
+
+
+def tt_strategy(variables=VARS3):
+    n = 1 << len(variables)
+    return st.integers(min_value=0, max_value=(1 << n) - 1).map(
+        lambda bits: TruthTable(variables, bits)
+    )
+
+
+class TestConstruction:
+    def test_constant_false(self):
+        tt = TruthTable.constant(VARS3, False)
+        assert tt.bits == 0
+        assert tt.is_constant() and tt.constant_value() is False
+
+    def test_constant_true(self):
+        tt = TruthTable.constant(VARS3, True)
+        assert tt.bits == 0xFF
+        assert tt.is_constant() and tt.constant_value() is True
+
+    def test_variable_projection(self):
+        for j, name in enumerate(VARS3):
+            tt = TruthTable.variable(VARS3, name)
+            for i in range(8):
+                assert tt.evaluate_index(i) == bool((i >> j) & 1)
+
+    def test_from_function_majority(self):
+        tt = TruthTable.from_function(
+            VARS3, lambda env: (env["a"] + env["b"] + env["c"]) >= 2
+        )
+        assert tt.count_minterms() == 4
+        assert tt.evaluate({"a": True, "b": True, "c": False})
+        assert not tt.evaluate({"a": True, "b": False, "c": False})
+
+    def test_duplicate_vars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(("a", "a"), 0)
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(tuple(f"v{i}" for i in range(MAX_VARS + 1)), 0)
+
+    def test_immutable(self):
+        tt = TruthTable.constant(VARS3, True)
+        with pytest.raises(AttributeError):
+            tt.bits = 0
+
+    def test_bits_masked_to_width(self):
+        tt = TruthTable(("a",), 0b111)  # only 2 bits are meaningful
+        assert tt.bits == 0b11
+
+
+class TestConnectives:
+    def test_demorgan(self):
+        a = TruthTable.variable(VARS3, "a")
+        b = TruthTable.variable(VARS3, "b")
+        assert ~(a & b) == (~a | ~b)
+        assert ~(a | b) == (~a & ~b)
+
+    def test_xor_as_or_of_ands(self):
+        a = TruthTable.variable(VARS3, "a")
+        b = TruthTable.variable(VARS3, "b")
+        assert (a ^ b) == ((a & ~b) | (~a & b))
+
+    def test_mismatched_vars_raise(self):
+        a = TruthTable.variable(("a",), "a")
+        b = TruthTable.variable(("b",), "b")
+        with pytest.raises(ValueError):
+            _ = a & b
+
+    @given(tt_strategy(), tt_strategy())
+    def test_and_is_intersection(self, f, g):
+        for i in range(8):
+            assert (f & g).evaluate_index(i) == (
+                f.evaluate_index(i) and g.evaluate_index(i)
+            )
+
+    @given(tt_strategy())
+    def test_double_negation(self, f):
+        assert ~~f == f
+
+
+class TestCofactorsAndDifference:
+    def test_cofactor_shannon_expansion(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] and (e["b"] or e["c"]))
+        a = TruthTable.variable(VARS3, "a")
+        expansion = (a & f.cofactor("a", True)) | (~a & f.cofactor("a", False))
+        assert expansion == f
+
+    def test_cofactor_removes_dependence(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] != e["b"])
+        assert not f.cofactor("a", True).depends_on("a")
+
+    def test_boolean_difference_xor(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] != e["b"])
+        # XOR propagates every transition: difference is constant 1.
+        assert f.boolean_difference("a").is_constant()
+        assert f.boolean_difference("a").constant_value() is True
+
+    def test_boolean_difference_and(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] and e["b"])
+        diff = f.boolean_difference("a")
+        assert diff == TruthTable.variable(VARS3, "b")
+
+    def test_support(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] and e["c"])
+        assert f.support() == ("a", "c")
+
+    @given(tt_strategy())
+    def test_difference_independent_of_variable(self, f):
+        diff = f.boolean_difference("b")
+        assert not diff.depends_on("b")
+
+    @given(tt_strategy())
+    @settings(max_examples=50)
+    def test_shannon_expansion_property(self, f):
+        for name in VARS3:
+            v = TruthTable.variable(VARS3, name)
+            assert ((v & f.cofactor(name, True)) | (~v & f.cofactor(name, False))) == f
+
+
+class TestExpandRename:
+    def test_expand_to_superset(self):
+        f = TruthTable.from_function(("a", "b"), lambda e: e["a"] and e["b"])
+        g = f.expand(("a", "b", "c"))
+        for env in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(("a", "b", "c"), env))
+            assert g.evaluate(assignment) == (assignment["a"] and assignment["b"])
+
+    def test_expand_reorder(self):
+        f = TruthTable.from_function(("a", "b"), lambda e: e["a"] and not e["b"])
+        g = f.expand(("b", "a"))
+        for env in itertools.product([False, True], repeat=2):
+            assignment = dict(zip(("a", "b"), env))
+            assert g.evaluate(assignment) == f.evaluate(assignment)
+
+    def test_expand_drop_essential_raises(self):
+        f = TruthTable.variable(("a", "b"), "a")
+        with pytest.raises(ValueError):
+            f.expand(("b",))
+
+    def test_expand_drop_inessential_ok(self):
+        f = TruthTable.variable(("a", "b"), "a")
+        g = f.expand(("a",))
+        assert g == TruthTable.variable(("a",), "a")
+
+    def test_rename(self):
+        f = TruthTable.variable(("a", "b"), "a")
+        g = f.rename({"a": "x", "b": "y"})
+        assert g.vars == ("x", "y")
+        assert g == TruthTable.variable(("x", "y"), "x")
+
+    def test_permute(self):
+        f = TruthTable.from_function(("a", "b"), lambda e: e["a"] and not e["b"])
+        g = f.permute((1, 0))
+        assert g.vars == ("b", "a")
+        assert g.evaluate({"a": True, "b": False}) is True
+
+
+class TestProbability:
+    def test_constant_probabilities(self):
+        assert TruthTable.constant(VARS3, True).probability({v: 0.3 for v in VARS3}) == 1.0
+        assert TruthTable.constant(VARS3, False).probability({v: 0.3 for v in VARS3}) == 0.0
+
+    def test_variable_probability(self):
+        tt = TruthTable.variable(VARS3, "b")
+        assert tt.probability({"a": 0.1, "b": 0.7, "c": 0.9}) == pytest.approx(0.7)
+
+    def test_and_probability_independent(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] and e["b"])
+        assert f.probability({"a": 0.5, "b": 0.4, "c": 0.9}) == pytest.approx(0.2)
+
+    def test_or_probability(self):
+        f = TruthTable.from_function(VARS3, lambda e: e["a"] or e["b"])
+        p = f.probability({"a": 0.5, "b": 0.5, "c": 0.1})
+        assert p == pytest.approx(0.75)
+
+    def test_out_of_range_raises(self):
+        tt = TruthTable.variable(VARS3, "a")
+        with pytest.raises(ValueError):
+            tt.probability({"a": 1.5, "b": 0.5, "c": 0.5})
+
+    @given(
+        tt_strategy(),
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=3),
+    )
+    @settings(max_examples=50)
+    def test_probability_matches_enumeration(self, f, ps):
+        probs = dict(zip(VARS3, ps))
+        expected = 0.0
+        for i in range(8):
+            w = 1.0
+            for j, v in enumerate(VARS3):
+                w *= probs[v] if (i >> j) & 1 else 1.0 - probs[v]
+            if f.evaluate_index(i):
+                expected += w
+        assert f.probability(probs) == pytest.approx(expected, abs=1e-12)
+
+    @given(tt_strategy(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40)
+    def test_complement_probability(self, f, p):
+        probs = {v: p for v in VARS3}
+        assert f.probability(probs) + (~f).probability(probs) == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Tests for structural Verilog writing and parsing."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.verilog import VerilogError, parse_verilog, write_verilog
+from repro.gates.library import default_library
+from repro.sim.logicsim import check_equivalence
+
+LIB = default_library()
+
+
+def sample_circuit():
+    c = Circuit("sample", LIB)
+    for n in ("a", "b", "c"):
+        c.add_input(n)
+    c.add_output("y")
+    c.add_gate("g0", "nand2", {"a": "a", "b": "b"}, "n0")
+    c.add_gate("g1", "aoi21", {"a": "n0", "b": "b", "c": "c"}, "y")
+    return c
+
+
+class TestWriter:
+    def test_structure(self):
+        text = write_verilog(sample_circuit())
+        assert text.startswith("module sample (")
+        assert "endmodule" in text
+        assert "nand2 g0" in text
+        assert ".O(" in text
+
+    def test_sanitises_hostile_names(self):
+        c = Circuit("weird-name", LIB)
+        c.add_input("a[3]")
+        c.add_output("out.2")
+        c.add_gate("g0", "inv", {"a": "a[3]"}, "out.2")
+        text = write_verilog(c)
+        assert "[3]" not in text.replace("// ", "")
+        parse_verilog(text, LIB)  # must stay parseable
+
+    def test_unique_after_sanitising(self):
+        c = Circuit("clash", LIB)
+        c.add_input("n.1")
+        c.add_input("n_1")
+        c.add_output("y")
+        c.add_gate("g0", "nand2", {"a": "n.1", "b": "n_1"}, "y")
+        text = write_verilog(c)
+        back = parse_verilog(text, LIB)
+        assert len(back.inputs) == 2
+        assert len(set(back.inputs)) == 2
+
+
+class TestRoundTrip:
+    def test_equivalent_after_roundtrip(self):
+        circuit = sample_circuit()
+        back = parse_verilog(write_verilog(circuit), LIB)
+        assert len(back) == len(circuit)
+        # Net names are unchanged here (already valid identifiers).
+        for vector in itertools.product([False, True], repeat=3):
+            env = dict(zip(("a", "b", "c"), vector))
+            assert back.evaluate(env)["y"] == circuit.evaluate(env)["y"]
+
+    def test_gate_mix_preserved(self):
+        circuit = sample_circuit()
+        back = parse_verilog(write_verilog(circuit), LIB)
+        assert back.gate_count_by_template() == circuit.gate_count_by_template()
+
+
+class TestParserErrors:
+    def test_unknown_gate(self):
+        text = "module m (a, y);\n input a;\n output y;\n xor9 g (.a(a), .O(y));\nendmodule\n"
+        with pytest.raises(VerilogError):
+            parse_verilog(text, LIB)
+
+    def test_missing_output_pin(self):
+        text = "module m (a, y);\n input a;\n output y;\n inv g (.a(a));\nendmodule\n"
+        with pytest.raises(VerilogError):
+            parse_verilog(text, LIB)
+
+    def test_undeclared_port(self):
+        text = "module m (a, y, z);\n input a;\n output y;\n inv g (.a(a), .O(y));\nendmodule\n"
+        with pytest.raises(VerilogError):
+            parse_verilog(text, LIB)
+
+    def test_truncated(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("module m (a);\n input a;\n", LIB)
+
+    def test_comments_stripped(self):
+        text = ("// header\nmodule m (a, y);\n input a;\n output y;\n"
+                " /* block\n comment */ inv g (.a(a), .O(y));\nendmodule\n")
+        circuit = parse_verilog(text, LIB)
+        assert len(circuit) == 1
