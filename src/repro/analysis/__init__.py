@@ -3,6 +3,7 @@
 from .experiments import (
     Table1Row,
     Table3Row,
+    case_seed,
     run_adder_activity,
     run_table1,
     run_table2,
@@ -15,6 +16,7 @@ from .report import format_percent, format_si, format_table
 from .stats import geomean, mean, relative_increase, relative_reduction
 
 __all__ = [
+    "case_seed",
     "run_table1",
     "run_table2",
     "run_table2_instances",

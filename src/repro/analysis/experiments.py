@@ -15,6 +15,7 @@ Each function reproduces one artefact (see DESIGN.md §4):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from ..timing.sta import DEFAULT_PO_LOAD, circuit_delay
 from .stats import mean, relative_increase, relative_reduction
 
 __all__ = [
+    "case_seed",
     "Table1Row",
     "run_table1",
     "run_table2",
@@ -43,6 +45,17 @@ __all__ = [
     "run_table3",
     "run_adder_activity",
 ]
+
+
+def case_seed(name: str, seed: int = 0) -> int:
+    """Per-circuit RNG seed, stable across processes and Python runs.
+
+    Built on CRC-32 of the circuit name rather than :func:`hash`, whose
+    string hashing is randomised per interpreter process — with it, the
+    parallel benchmark runner's workers (and any two invocations) would
+    draw different stimuli for the same (circuit, seed) pair.
+    """
+    return seed + zlib.crc32(name.encode("utf-8")) % 10000
 
 
 # ----------------------------------------------------------------------
@@ -154,21 +167,34 @@ def run_table3_case(case: BenchmarkCase, scenario: str,
                     cycles: int = 250,
                     po_load: float = DEFAULT_PO_LOAD,
                     library: Optional[GateLibrary] = None,
-                    model: Optional[GatePowerModel] = None) -> Table3Row:
-    """Run the full flow for one circuit and one scenario ('A' or 'B')."""
+                    model: Optional[GatePowerModel] = None,
+                    circuit: Optional[Circuit] = None) -> Table3Row:
+    """Run the full flow for one circuit and one scenario ('A' or 'B').
+
+    Deterministic for a given ``(case, scenario, seed)``: the stimulus
+    seed comes from :func:`case_seed`.  ``circuit`` may supply an
+    already-mapped netlist (the benchmark runner caches one per case so
+    both scenarios reuse the mapping); it is never mutated.
+    """
     tech = tech if tech is not None else TechParams()
     model = model if model is not None else GatePowerModel(tech)
-    network = case.network()
-    circuit = map_circuit(network, library)
+    if circuit is None:
+        network = case.network()
+        circuit = map_circuit(network, library)
+    elif library is not None:
+        raise ValueError(
+            "library is only used when mapping internally; "
+            "pass either circuit or library, not both"
+        )
 
     if scenario == "A":
-        generator = ScenarioA(seed=seed + hash(case.name) % 10000)
+        generator = ScenarioA(seed=case_seed(case.name, seed))
         stats = generator.input_stats(circuit.inputs)
         densities = [s.density for s in stats.values()]
         duration = target_transitions / mean(densities)
         stimulus = generator.generate(circuit.inputs, duration)
     elif scenario == "B":
-        generator = ScenarioB(seed=seed + hash(case.name) % 10000)
+        generator = ScenarioB(seed=case_seed(case.name, seed))
         stats = generator.input_stats(circuit.inputs)
         stimulus = generator.generate(circuit.inputs, cycles)
     else:

@@ -15,12 +15,17 @@ from .generators import (
     random_logic,
     ripple_carry_adder,
 )
+from .runner import load_artifact, run_suite, strip_timing, write_artifact
 from .suite import BenchmarkCase, benchmark_suite, get_case
 
 __all__ = [
     "BenchmarkCase",
     "benchmark_suite",
     "get_case",
+    "run_suite",
+    "load_artifact",
+    "write_artifact",
+    "strip_timing",
     "ripple_carry_adder",
     "array_multiplier",
     "parity_tree",

@@ -1,0 +1,189 @@
+"""Parallel batch runner for the Table-3 benchmark sweep.
+
+Runs the full flow (map -> optimise best/worst -> switch-level simulate
+-> STA) for every suite circuit and scenario, fanned out over worker
+processes with :mod:`multiprocessing`, and collects the rows into a
+canonical JSON artifact:
+
+* one work item per circuit, covering all requested scenarios, so the
+  mapped netlist is built once per circuit (a per-process cache keyed
+  by case name) instead of once per (circuit, scenario, run);
+* results are deterministic for a given seed — identical across runs
+  and across ``--jobs`` settings — because the per-case stimulus seed
+  is CRC-based (:func:`repro.analysis.experiments.case_seed`) and work
+  items are collected in suite order regardless of completion order;
+* the artifact separates payload from timing (``elapsed_s`` fields), so
+  golden comparisons strip timing with :func:`strip_timing` and byte-
+  compare the rest (:func:`dumps_artifact` is canonical: sorted keys,
+  fixed separators, trailing newline).
+
+The ``repro bench`` CLI subcommand wraps :func:`run_suite`; the
+``benchmarks/bench_runner_suite.py`` script consumes the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..synth.mapper import map_circuit
+from .suite import benchmark_suite, get_case
+
+# NOTE: repro.analysis.experiments imports repro.bench.suite, so the
+# experiment driver is imported lazily inside the worker functions to
+# keep `import repro.bench` cycle-free.
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "run_suite",
+    "dumps_artifact",
+    "write_artifact",
+    "load_artifact",
+    "strip_timing",
+]
+
+SCHEMA_VERSION = 1
+
+#: Keys that describe the run rather than the result (wall-clock times,
+#: worker count); stripped for golden byte-comparisons.
+TIMING_FIELDS = ("elapsed_s", "jobs")
+
+#: Worker-local mapped-netlist cache: case name -> mapped circuit.  The
+#: optimiser copies before reordering, so cached circuits stay pristine.
+_MAPPED_CACHE: Dict[str, Circuit] = {}
+
+
+def _mapped_circuit(case_name: str) -> Circuit:
+    circuit = _MAPPED_CACHE.get(case_name)
+    if circuit is None:
+        circuit = map_circuit(get_case(case_name).network())
+        _MAPPED_CACHE[case_name] = circuit
+    return circuit
+
+
+def _row_dict(row, elapsed: float) -> Dict[str, object]:
+    return {
+        "circuit": row.name,
+        "scenario": row.scenario,
+        "gates": row.gates,
+        "model_reduction": row.model_reduction,
+        "sim_reduction": row.sim_reduction,
+        "delay_increase": row.delay_increase,
+        "model_power_best": row.model_power_best,
+        "sim_power_best": row.sim_power_best,
+        "elapsed_s": elapsed,
+    }
+
+
+def _run_case(work: Tuple[str, Tuple[str, ...], int]) -> List[Dict[str, object]]:
+    """One work item: every scenario of one circuit, mapping reused."""
+    from ..analysis.experiments import run_table3_case
+
+    case_name, scenarios, seed = work
+    circuit = _mapped_circuit(case_name)
+    case = get_case(case_name)
+    rows = []
+    for scenario in scenarios:
+        start = time.perf_counter()
+        row = run_table3_case(case, scenario, seed=seed, circuit=circuit)
+        rows.append(_row_dict(row, time.perf_counter() - start))
+    return rows
+
+
+def run_suite(subset: Optional[str] = "quick",
+              scenarios: Sequence[str] = ("A", "B"),
+              jobs: int = 1,
+              seed: int = 0,
+              cases: Optional[Sequence[str]] = None,
+              out_path: Optional[str] = None) -> Dict[str, object]:
+    """Run the Table-3 sweep, optionally in parallel, and return the artifact.
+
+    ``cases`` overrides ``subset`` with an explicit list of case names.
+    ``jobs > 1`` fans circuits out over a process pool; results are in
+    suite order and bit-identical to a ``jobs=1`` run.  When
+    ``out_path`` is given the canonical JSON artifact is also written
+    there.
+    """
+    if cases is not None:
+        names = [get_case(name).name for name in cases]
+        subset_label = "custom"
+    else:
+        names = [case.name for case in benchmark_suite(subset)]
+        subset_label = subset or "full"
+    scenarios = tuple(scenarios)
+    for scenario in scenarios:
+        if scenario not in ("A", "B"):
+            raise ValueError(f"scenario must be 'A' or 'B', got {scenario!r}")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+
+    work = [(name, scenarios, seed) for name in names]
+    start = time.perf_counter()
+    if jobs == 1 or len(work) <= 1:
+        grouped = [_run_case(item) for item in work]
+    else:
+        with multiprocessing.get_context().Pool(processes=min(jobs, len(work))) as pool:
+            # chunksize=1: circuit costs vary by orders of magnitude, so
+            # letting map() weld consecutive items into chunks can leave
+            # one worker serialising the two largest circuits.
+            grouped = pool.map(_run_case, work, chunksize=1)
+    elapsed = time.perf_counter() - start
+
+    artifact: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "suite": {
+            "subset": subset_label,
+            "cases": names,
+            "scenarios": list(scenarios),
+            "seed": seed,
+        },
+        "jobs": jobs,
+        "elapsed_s": elapsed,
+        "results": [row for rows in grouped for row in rows],
+    }
+    if out_path:
+        write_artifact(artifact, out_path)
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Artifact serialisation
+# ----------------------------------------------------------------------
+def dumps_artifact(artifact: Mapping[str, object]) -> str:
+    """Canonical JSON: sorted keys, fixed separators, newline-terminated."""
+    return json.dumps(artifact, sort_keys=True, indent=2,
+                      separators=(",", ": ")) + "\n"
+
+
+def write_artifact(artifact: Mapping[str, object], path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(dumps_artifact(artifact))
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        artifact = json.load(handle)
+    if artifact.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported artifact schema {artifact.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return artifact
+
+
+def strip_timing(value):
+    """Recursively drop timing fields — the run-varying part of an artifact."""
+    if isinstance(value, Mapping):
+        return {
+            k: strip_timing(v) for k, v in value.items() if k not in TIMING_FIELDS
+        }
+    if isinstance(value, list):
+        return [strip_timing(v) for v in value]
+    return value

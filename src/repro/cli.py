@@ -5,6 +5,7 @@ Subcommands::
     table1                 regenerate the motivation example (Table 1b)
     table2                 regenerate the library configuration counts
     table3 [--subset ...]  regenerate the main evaluation (Table 3)
+    bench [--jobs N ...]   parallel Table-3 sweep -> JSON result artifact
     adder [--width N]      the ripple-carry activity profile (§1.1)
     optimize FILE.blif     map + optimise a BLIF circuit, report savings
 """
@@ -28,6 +29,13 @@ from .analysis.stats import mean
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-reorder",
@@ -45,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--subset", choices=["quick", "full"], default="quick")
     p3.add_argument("--scenario", choices=["A", "B", "both"], default="both")
     p3.add_argument("--seed", type=int, default=0)
+
+    pb = sub.add_parser(
+        "bench",
+        help="run the benchmark sweep in parallel and emit a JSON artifact",
+    )
+    pb.add_argument("--subset", choices=["quick", "full"], default="quick")
+    pb.add_argument("--scenario", choices=["A", "B", "both"], default="both")
+    pb.add_argument("--jobs", type=_positive_int, default=1,
+                    help="worker processes (1 = run serially in-process)")
+    pb.add_argument("--seed", type=int, default=0)
+    pb.add_argument("--out", metavar="PATH",
+                    help="write the JSON result artifact here")
+    pb.add_argument("--cases", nargs="+", metavar="NAME",
+                    help="explicit case names (overrides --subset)")
 
     pa = sub.add_parser("adder", help="ripple-carry carry activity profile")
     pa.add_argument("--width", type=int, default=8)
@@ -86,28 +108,68 @@ def _cmd_table2(out) -> int:
     return 0
 
 
+def _write_scenario_table(out, title: str, rows, extra=None) -> None:
+    """One Table-3-style block: per-circuit M/S/D columns + average footer.
+
+    ``rows`` is a list of ``(circuit, gates, model, sim, delay)`` tuples
+    with raw fractions; ``extra`` optionally adds one trailing
+    preformatted column as ``(header, [cell, ...])``.
+    """
+    headers = ["Circuit", "G", "M%", "S%", "D%"]
+    table_rows = [
+        [name, gates, format_percent(m), format_percent(s), format_percent(d)]
+        for name, gates, m, s, d in rows
+    ]
+    footer = [
+        "average", "",
+        format_percent(mean([r[2] for r in rows])),
+        format_percent(mean([r[3] for r in rows])),
+        format_percent(mean([r[4] for r in rows])),
+    ]
+    if extra is not None:
+        header, cells = extra
+        headers.append(header)
+        for row, cell in zip(table_rows, cells):
+            row.append(cell)
+        footer.append("")
+    out.write(format_table(tuple(headers), [tuple(r) for r in table_rows],
+                           title=title, footer=tuple(footer)))
+    out.write("\n\n")
+
+
 def _cmd_table3(out, subset: str, scenario: str, seed: int) -> int:
     scenarios = ("A", "B") if scenario == "both" else (scenario,)
     results = run_table3(subset=subset, scenarios=scenarios, seed=seed)
     for sc, rows in results.items():
-        table_rows = [
-            (r.name, r.gates,
-             format_percent(r.model_reduction),
-             format_percent(r.sim_reduction),
-             format_percent(r.delay_increase))
-            for r in rows
-        ]
-        footer = (
-            "average", "",
-            format_percent(mean([r.model_reduction for r in rows])),
-            format_percent(mean([r.sim_reduction for r in rows])),
-            format_percent(mean([r.delay_increase for r in rows])),
+        _write_scenario_table(
+            out, f"Table 3 - scenario {sc}",
+            [(r.name, r.gates, r.model_reduction, r.sim_reduction,
+              r.delay_increase) for r in rows],
         )
-        out.write(format_table(
-            ("Circuit", "G", "M%", "S%", "D%"), table_rows,
-            title=f"Table 3 - scenario {sc}", footer=footer,
-        ))
-        out.write("\n\n")
+    return 0
+
+
+def _cmd_bench(out, subset: str, scenario: str, jobs: int, seed: int,
+               out_path: Optional[str], cases: Optional[List[str]]) -> int:
+    from .bench.runner import run_suite
+
+    scenarios = ("A", "B") if scenario == "both" else (scenario,)
+    artifact = run_suite(subset=subset, scenarios=scenarios, jobs=jobs,
+                         seed=seed, cases=cases, out_path=out_path)
+    rows = artifact["results"]
+    for sc in scenarios:
+        sc_rows = [r for r in rows if r["scenario"] == sc]
+        _write_scenario_table(
+            out,
+            f"bench - scenario {sc} ({artifact['suite']['subset']}, jobs={jobs})",
+            [(r["circuit"], r["gates"], r["model_reduction"],
+              r["sim_reduction"], r["delay_increase"]) for r in sc_rows],
+            extra=("t", [f"{r['elapsed_s']:.2f}s" for r in sc_rows]),
+        )
+    out.write(f"{len(rows)} rows in {artifact['elapsed_s']:.2f}s "
+              f"with {jobs} job(s)\n")
+    if out_path:
+        out.write(f"wrote JSON artifact to {out_path}\n")
     return 0
 
 
@@ -171,6 +233,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_table2(out)
     if args.command == "table3":
         return _cmd_table3(out, args.subset, args.scenario, args.seed)
+    if args.command == "bench":
+        return _cmd_bench(out, args.subset, args.scenario, args.jobs,
+                          args.seed, args.out, args.cases)
     if args.command == "adder":
         return _cmd_adder(out, args.width)
     if args.command == "optimize":

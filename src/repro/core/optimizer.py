@@ -47,6 +47,7 @@ from .reorder import ConfigEvaluation, evaluate_configurations
 
 __all__ = [
     "OBJECTIVES",
+    "STATS_SOURCES",
     "GateDecision",
     "OptimizeResult",
     "optimize_circuit",
@@ -55,6 +56,12 @@ __all__ = [
 ]
 
 OBJECTIVES = ("best", "worst", "delay-constrained", "fastest")
+
+#: Sources of the per-net (P, D) statistics driving the optimisation.
+#: ``"model"`` is the paper's flow (incremental propagation through the
+#: power model during the traversal); the others precompute a full map
+#: with :func:`repro.stochastic.density.propagate_stats`.
+STATS_SOURCES = ("model", "local", "exact", "sampled")
 
 _EPS = 1e-30
 
@@ -126,26 +133,55 @@ def optimize_circuit(
     model: Optional[GatePowerModel] = None,
     objective: str = "best",
     po_load: float = DEFAULT_PO_LOAD,
+    stats: str = "model",
+    stats_kwargs: Optional[Mapping] = None,
 ) -> OptimizeResult:
-    """Run the Figure 3 algorithm and return a reordered copy of ``circuit``."""
+    """Run the Figure 3 algorithm and return a reordered copy of ``circuit``.
+
+    ``stats`` selects where the per-net (P, D) statistics come from:
+    ``"model"`` (default) propagates them incrementally through the
+    power model exactly as the paper's traversal does, while
+    ``"local"``, ``"exact"`` and ``"sampled"`` precompute the full map
+    with :func:`repro.stochastic.density.propagate_stats` (the sampled
+    source runs the bit-parallel Monte Carlo engine; ``stats_kwargs``
+    forwards its ``lanes``/``steps``/``dt``/``seed`` options).
+    """
     if objective not in OBJECTIVES:
         raise ValueError(f"unknown objective {objective!r}; choose from {OBJECTIVES}")
+    if stats not in STATS_SOURCES:
+        raise ValueError(f"unknown stats source {stats!r}; choose from {STATS_SOURCES}")
+    if stats_kwargs and stats == "model":
+        # Silently dropping these would mislead a caller who configured
+        # a Monte-Carlo run but forgot stats="sampled".
+        raise TypeError(
+            f"stats_kwargs {sorted(stats_kwargs)} need a non-default stats source"
+        )
     model = model if model is not None else GatePowerModel()
     missing = [n for n in circuit.inputs if n not in input_stats]
     if missing:
         raise KeyError(f"missing input statistics for {missing}")
 
     result_circuit = circuit.copy()
-    net_stats: Dict[str, SignalStats] = {n: input_stats[n] for n in circuit.inputs}
+    precomputed: Optional[Dict[str, SignalStats]] = None
+    if stats != "model":
+        from ..stochastic.density import propagate_stats
+
+        precomputed = propagate_stats(
+            circuit, input_stats, method=stats, **dict(stats_kwargs or {})
+        )
+    net_stats: Dict[str, SignalStats] = (
+        dict(precomputed) if precomputed is not None
+        else {n: input_stats[n] for n in circuit.inputs}
+    )
     decisions: List[GateDecision] = []
     power_before = 0.0
     power_after = 0.0
 
     for gate in topological_gates(result_circuit):
         template = gate.template
-        stats = _pin_stats(gate, net_stats)
+        pin_stats = _pin_stats(gate, net_stats)
         load = result_circuit.output_load(gate.output, model.tech, po_load)
-        evaluations = evaluate_configurations(template, stats, model, load)
+        evaluations = evaluate_configurations(template, pin_stats, model, load)
         by_key = {e.config.key(): e for e in evaluations}
 
         original_eval = by_key[gate.effective_config().key()]
@@ -179,7 +215,8 @@ def optimize_circuit(
         )
         power_before += original_eval.power
         power_after += chosen.power
-        net_stats[gate.output] = model.output_stats(gate.compiled(), stats)
+        if precomputed is None:
+            net_stats[gate.output] = model.output_stats(gate.compiled(), pin_stats)
 
     return OptimizeResult(result_circuit, net_stats, decisions, power_before, power_after)
 

@@ -1,5 +1,13 @@
-"""Simulation substrates: event queue, stimulus, switch-level power sim."""
+"""Simulation substrates: event queue, stimulus, switch-level power sim,
+bit-parallel Monte Carlo sampling (see README.md in this directory)."""
 
+from .bitsim import (
+    BitParallelSimulator,
+    BitSimReport,
+    pack_vectors,
+    sampled_stats,
+    stimulus_step_vectors,
+)
 from .events import Event, EventQueue
 from .logicsim import check_equivalence, count_toggles, exhaustive_vectors, random_vectors
 from .stimulus import ScenarioA, ScenarioB, Stimulus
@@ -14,6 +22,11 @@ __all__ = [
     "SwitchLevelSimulator",
     "SwitchSimReport",
     "GateEnergy",
+    "BitParallelSimulator",
+    "BitSimReport",
+    "sampled_stats",
+    "pack_vectors",
+    "stimulus_step_vectors",
     "check_equivalence",
     "count_toggles",
     "exhaustive_vectors",

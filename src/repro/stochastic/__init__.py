@@ -1,5 +1,16 @@
 """Stochastic signal modelling: (P, D) pairs, waveforms, propagation engines."""
 
+from .density import exact_stats, local_stats, propagate_stats
+from .probability import exact_probabilities, local_probabilities
 from .signal import SignalStats, markov_waveform, measure_waveform
 
-__all__ = ["SignalStats", "markov_waveform", "measure_waveform"]
+__all__ = [
+    "SignalStats",
+    "markov_waveform",
+    "measure_waveform",
+    "propagate_stats",
+    "local_stats",
+    "exact_stats",
+    "local_probabilities",
+    "exact_probabilities",
+]

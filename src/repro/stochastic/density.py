@@ -10,8 +10,13 @@ probability of the Boolean difference.  Two engines:
 * ``method="exact"`` — Boolean differences of the *global* functions
   with respect to the primary inputs, computed on ROBDDs; handles
   reconvergent correlation of the probabilities exactly.
+* ``method="sampled"`` — bit-parallel Monte Carlo measurement
+  (:func:`repro.sim.bitsim.sampled_stats`); unbiased under
+  reconvergence at sampling-noise accuracy, and the only engine whose
+  cost does not grow with BDD size.
 
-Both return a full net-to-:class:`SignalStats` map.
+All return a full net-to-:class:`SignalStats` map; see
+``src/repro/sim/README.md`` for the accuracy/cost trade-offs.
 """
 
 from __future__ import annotations
@@ -77,13 +82,30 @@ def exact_stats(circuit: Circuit,
 
 def propagate_stats(circuit: Circuit,
                     input_stats: Mapping[str, SignalStats],
-                    method: str = "local") -> Dict[str, SignalStats]:
-    """Dispatch to :func:`local_stats` or :func:`exact_stats`."""
+                    method: str = "local",
+                    **sampling_kwargs) -> Dict[str, SignalStats]:
+    """Dispatch to :func:`local_stats`, :func:`exact_stats` or sampling.
+
+    ``method="sampled"`` forwards ``sampling_kwargs`` (``lanes``,
+    ``steps``, ``dt``, ``seed``) to
+    :func:`repro.sim.bitsim.sampled_stats`; the analytic engines accept
+    no extra arguments.
+    """
     missing = [n for n in circuit.inputs if n not in input_stats]
     if missing:
         raise KeyError(f"missing input statistics for {missing}")
+    if method == "sampled":
+        from ..sim.bitsim import sampled_stats
+
+        return sampled_stats(circuit, input_stats, **sampling_kwargs)
+    if sampling_kwargs:
+        raise TypeError(
+            f"method {method!r} takes no sampling arguments: {sorted(sampling_kwargs)}"
+        )
     if method == "local":
         return local_stats(circuit, input_stats)
     if method == "exact":
         return exact_stats(circuit, input_stats)
-    raise ValueError(f"unknown method {method!r}; use 'local' or 'exact'")
+    raise ValueError(
+        f"unknown method {method!r}; use 'local', 'exact' or 'sampled'"
+    )

@@ -1,0 +1,113 @@
+"""Golden regression tests for the parallel benchmark runner."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    dumps_artifact,
+    load_artifact,
+    run_suite,
+    strip_timing,
+    write_artifact,
+)
+from repro.bench.suite import benchmark_suite
+
+GOLDEN_CASES = ("maj3", "fa1", "c17")
+
+
+@pytest.fixture(scope="module")
+def golden_artifact():
+    return run_suite(cases=GOLDEN_CASES, scenarios=("A", "B"), jobs=1, seed=0)
+
+
+class TestGoldenStability:
+    def test_byte_stable_across_runs(self, golden_artifact):
+        again = run_suite(cases=GOLDEN_CASES, scenarios=("A", "B"), jobs=1, seed=0)
+        assert dumps_artifact(strip_timing(golden_artifact)) == dumps_artifact(
+            strip_timing(again)
+        )
+
+    def test_byte_stable_across_jobs(self, golden_artifact):
+        parallel = run_suite(cases=GOLDEN_CASES, scenarios=("A", "B"), jobs=4, seed=0)
+        assert dumps_artifact(strip_timing(golden_artifact)) == dumps_artifact(
+            strip_timing(parallel)
+        )
+
+    def test_seed_changes_results(self, golden_artifact):
+        other = run_suite(cases=GOLDEN_CASES, scenarios=("A",), jobs=1, seed=1)
+        base_rows = {
+            (r["circuit"], r["scenario"]): r
+            for r in golden_artifact["results"]
+        }
+        changed = [
+            r for r in other["results"]
+            if r["sim_reduction"]
+            != base_rows[(r["circuit"], r["scenario"])]["sim_reduction"]
+        ]
+        assert changed, "a different seed must change the measured stimulus"
+
+
+class TestArtifactShape:
+    def test_row_per_case_and_scenario(self, golden_artifact):
+        rows = golden_artifact["results"]
+        assert [(r["circuit"], r["scenario"]) for r in rows] == [
+            (name, sc) for name in GOLDEN_CASES for sc in ("A", "B")
+        ]
+        for row in rows:
+            assert row["gates"] > 0
+            assert row["elapsed_s"] >= 0.0
+            assert -1.0 <= row["model_reduction"] <= 1.0
+            assert -1.0 <= row["sim_reduction"] <= 1.0
+
+    def test_strip_timing_removes_only_volatile_fields(self, golden_artifact):
+        stripped = strip_timing(golden_artifact)
+        assert "elapsed_s" not in stripped
+        assert "jobs" not in stripped
+        assert all("elapsed_s" not in row for row in stripped["results"])
+        assert stripped["schema"] == SCHEMA_VERSION
+        assert stripped["suite"] == golden_artifact["suite"]
+
+    def test_roundtrip_through_file(self, golden_artifact, tmp_path):
+        path = tmp_path / "artifact.json"
+        write_artifact(golden_artifact, str(path))
+        loaded = load_artifact(str(path))
+        assert loaded == json.loads(dumps_artifact(golden_artifact))
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(str(path))
+
+
+class TestRunSuiteArguments:
+    def test_unknown_case_rejected(self):
+        with pytest.raises(KeyError):
+            run_suite(cases=["nonexistent"], scenarios=("A",))
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            run_suite(cases=["maj3"], scenarios=("C",))
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_suite(cases=["maj3"], scenarios=("A",), jobs=0)
+
+    def test_subset_selection_matches_suite(self, tmp_path):
+        artifact = run_suite(cases=["maj3"], scenarios=("A",), jobs=1,
+                             out_path=str(tmp_path / "one.json"))
+        assert artifact["suite"]["subset"] == "custom"
+        assert (tmp_path / "one.json").exists()
+        names = [case.name for case in benchmark_suite("quick")]
+        assert "c17" in names  # the golden subset stays inside the suite
+
+
+@pytest.mark.slow
+def test_full_suite_parallel_sweep(tmp_path):
+    """The full 30-circuit sweep runs in parallel end to end."""
+    artifact = run_suite(subset="full", scenarios=("A", "B"), jobs=4, seed=0,
+                         out_path=str(tmp_path / "full.json"))
+    assert len(artifact["results"]) == 2 * len(benchmark_suite("full"))
+    assert len(artifact["suite"]["cases"]) == 30

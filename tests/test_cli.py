@@ -40,6 +40,28 @@ class TestCommands:
         assert code == 0
         assert "c3" in text
 
+    def test_bench_emits_json_artifact(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        # Two cases so --jobs 2 actually exercises the process pool
+        # (run_suite falls back to serial for a single work item).
+        code, text = run_cli(
+            "bench", "--cases", "maj3", "fa1", "--scenario", "A",
+            "--jobs", "2", "--out", str(out_path),
+        )
+        assert code == 0
+        assert "bench - scenario A" in text
+        assert "wrote JSON artifact" in text
+        artifact = json.loads(out_path.read_text())
+        assert artifact["suite"]["cases"] == ["maj3", "fa1"]
+        assert [r["scenario"] for r in artifact["results"]] == ["A", "A"]
+        assert [r["circuit"] for r in artifact["results"]] == ["maj3", "fa1"]
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.subset == "quick" and args.jobs == 1 and args.out is None
+
     def test_optimize_blif(self, tmp_path):
         blif = tmp_path / "fa.blif"
         blif.write_text(

@@ -1,0 +1,182 @@
+"""Cross-engine equivalence: sampled vs analytic (P, D) estimators.
+
+The bit-parallel Monte Carlo engine must converge, within binomial
+confidence bounds, to :func:`local_probabilities` on fanout-free
+circuits (where the independence assumption is exact) and to
+:func:`exact_probabilities` on reconvergent circuits; its density
+estimates must track the event-driven simulator's zero-delay activity.
+All runs are seeded and deterministic.
+"""
+
+import functools
+import math
+
+import pytest
+
+from repro.bench.suite import benchmark_suite, get_case
+from repro.sim.bitsim import BitParallelSimulator, sampled_stats
+from repro.sim.stimulus import ScenarioA, ScenarioB
+from repro.sim.switchsim import SwitchLevelSimulator
+from repro.stochastic.probability import exact_probabilities, local_probabilities
+from repro.stochastic.signal import SignalStats
+from repro.synth.mapper import map_circuit
+
+#: Small suite circuits (kept cheap to map and BDD-able for the exact
+#: engine); the fanout-free ones are asserted against the local engine,
+#: the reconvergent ones against the exact engine.
+SMALL_CASES = ("c17", "maj3", "xor5", "fa1", "dec3", "mux8", "parity8", "rca4")
+
+LANES = 4096
+
+
+@functools.lru_cache(maxsize=None)
+def mapped(name):
+    """Technology mapping is the slow part of these tests; share it."""
+    return map_circuit(get_case(name).network())
+
+
+def is_fanout_free(circuit) -> bool:
+    """True when every net drives at most one gate pin."""
+    return all(len(circuit.fanout(net)) <= 1 for net in circuit.nets())
+
+
+def binomial_bound(p: float, samples: int, sigmas: float = 3.0) -> float:
+    """``sigmas``-sigma half-width of a binomial proportion estimate."""
+    return max(sigmas * math.sqrt(p * (1.0 - p) / samples), sigmas / samples)
+
+
+def sampled_probabilities(circuit, input_probs, seed):
+    """One stationary bit-parallel settle: P estimates on LANES samples."""
+    stats = {
+        net: SignalStats(input_probs[net], 0.0) for net in circuit.inputs
+    }
+    report = BitParallelSimulator(circuit, lanes=LANES).run(
+        stats, steps=1, seed=seed
+    )
+    return {net: report.probability(net) for net in circuit.nets()}
+
+
+@pytest.mark.parametrize("name", SMALL_CASES)
+def test_sampled_probability_matches_analytic_engine(name):
+    circuit = mapped(name)
+    input_probs = {
+        net: stats.probability
+        for net, stats in ScenarioA(seed=17).input_stats(circuit.inputs).items()
+    }
+    if is_fanout_free(circuit):
+        reference = local_probabilities(circuit, input_probs)
+    else:
+        reference = exact_probabilities(circuit, input_probs)
+    measured = sampled_probabilities(circuit, input_probs, seed=23)
+    for net in circuit.nets():
+        bound = binomial_bound(reference[net], LANES)
+        assert abs(measured[net] - reference[net]) <= bound, (
+            f"{name}:{net} sampled {measured[net]:.4f} vs "
+            f"reference {reference[net]:.4f} (3-sigma bound {bound:.4f})"
+        )
+
+
+def fanout_free_tree(depth: int, gate: str = "nand2"):
+    """A balanced fanout-free tree of two-input library gates.
+
+    Technology mapping shares logic, so no mapped suite circuit stays
+    fanout-free; these gate-level trees exercise the branch where the
+    local engine is exact (and would cover any suite circuit that maps
+    fanout-free in the future — the parametrised test above routes on
+    :func:`is_fanout_free` automatically).
+    """
+    from repro.circuit.netlist import Circuit
+    from repro.gates.library import default_library
+
+    circuit = Circuit(f"tree{depth}", default_library())
+    leaves = 1 << depth
+    for k in range(leaves):
+        circuit.add_input(f"x{k}")
+    level = [f"x{k}" for k in range(leaves)]
+    counter = 0
+    while len(level) > 1:
+        nxt = []
+        for a, b in zip(level[::2], level[1::2]):
+            net = f"t{counter}"
+            circuit.add_gate(f"g{counter}", gate, {"a": a, "b": b}, net)
+            nxt.append(net)
+            counter += 1
+        level = nxt
+    circuit.add_output(level[0])
+    return circuit
+
+
+@pytest.mark.parametrize("depth,gate", [(2, "nand2"), (3, "nand2"), (3, "nor2")])
+def test_sampled_matches_local_on_fanout_free_trees(depth, gate):
+    circuit = fanout_free_tree(depth, gate)
+    assert is_fanout_free(circuit)
+    input_probs = {
+        net: stats.probability
+        for net, stats in ScenarioA(seed=41).input_stats(circuit.inputs).items()
+    }
+    reference = local_probabilities(circuit, input_probs)
+    measured = sampled_probabilities(circuit, input_probs, seed=101)
+    for net in circuit.nets():
+        bound = binomial_bound(reference[net], LANES)
+        assert abs(measured[net] - reference[net]) <= bound
+
+
+def test_local_equals_exact_on_fanout_free():
+    """Sanity of the reference split: local is exact without fanout."""
+    circuit = fanout_free_tree(3)
+    probs = {net: 0.4 for net in circuit.inputs}
+    local = local_probabilities(circuit, probs)
+    exact = exact_probabilities(circuit, probs)
+    for net in circuit.nets():
+        assert local[net] == pytest.approx(exact[net], abs=1e-9)
+
+
+def test_no_mapped_suite_circuit_is_fanout_free():
+    """Documents why the tree circuits above exist: mapping shares logic,
+    so the suite's small circuits all reconverge (and are therefore
+    checked against the exact engine instead)."""
+    assert not any(is_fanout_free(mapped(name)) for name in SMALL_CASES)
+
+
+@pytest.mark.parametrize("name", ("c17", "fa1", "rca4"))
+def test_sampled_density_tracks_zero_delay_simulator(name):
+    """Acceptance check: bitsim densities agree with the event-driven
+    simulator in zero-delay mode on identical vectors (c17 + generator
+    circuits)."""
+    circuit = mapped(name)
+    stimulus = ScenarioB(seed=31).generate(circuit.inputs, cycles=300)
+    settled = SwitchLevelSimulator(circuit, delay_mode="zero").run(stimulus)
+    report = BitParallelSimulator(circuit, lanes=1).run_stimulus(stimulus)
+    assert report.toggles == settled.net_transitions
+    for net in circuit.nets():
+        measured = settled.measured_stats(net)
+        # Identical toggle counts over the same observation window mean
+        # identical densities up to the window-length convention.
+        assert report.toggles[net] / stimulus.duration == pytest.approx(
+            measured.density, rel=1e-9, abs=1e-9
+        )
+        # Replay probabilities are time-weighted over the inter-event
+        # intervals, so they match the event-driven measurement too.
+        assert report.measured_stats(net).probability == pytest.approx(
+            measured.probability, rel=1e-9, abs=1e-9
+        )
+
+
+@pytest.mark.slow
+def test_sampled_stats_full_quick_subset_consistency():
+    """sampled_stats stays within loose MC bounds of local_stats on the
+    whole quick subset (a smoke-level sweep across circuit families)."""
+    from repro.stochastic.density import local_stats
+
+    for case in benchmark_suite("quick"):
+        circuit = map_circuit(case.network())
+        input_stats = ScenarioB(seed=5).input_stats(circuit.inputs)
+        sampled = sampled_stats(circuit, input_stats, lanes=1024, steps=24, seed=13)
+        local = local_stats(circuit, input_stats)
+        for net in circuit.inputs:
+            assert sampled[net].probability == pytest.approx(
+                local[net].probability, abs=0.06
+            )
+            assert sampled[net].density == pytest.approx(
+                local[net].density, rel=0.25
+            )

@@ -188,3 +188,69 @@ class TestSimulatorInvariants:
         total_timed = sum(timed.net_transitions.values())
         total_settled = sum(settled.net_transitions.values())
         assert total_settled <= total_timed
+
+
+def _bitsim_test_circuit():
+    from repro.circuit.netlist import Circuit
+
+    c = Circuit("bp", LIB)
+    for n in ("a", "b", "c"):
+        c.add_input(n)
+    c.add_output("y")
+    c.add_gate("g0", "aoi21", {"a": "a", "b": "b", "c": "c"}, "n0")
+    c.add_gate("g1", "nor2", {"a": "n0", "b": "a"}, "n1")
+    c.add_gate("g2", "nand2", {"a": "n1", "b": "c"}, "y")
+    return c
+
+
+class TestBitParallelInvariants:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_toggle_counts_equal_zero_delay_switchsim(self, seed):
+        """Bit-parallel stimulus replay IS the settled simulation: per-net
+        toggle counts match the zero-delay SwitchLevelSimulator exactly on
+        identical stimulus, for any seed."""
+        from repro.sim.bitsim import BitParallelSimulator
+        from repro.sim.stimulus import ScenarioB
+        from repro.sim.switchsim import SwitchLevelSimulator
+
+        c = _bitsim_test_circuit()
+        stimulus = ScenarioB(seed=seed).generate(c.inputs, cycles=50)
+        settled = SwitchLevelSimulator(c, delay_mode="zero").run(stimulus)
+        report = BitParallelSimulator(c, lanes=1).run_stimulus(stimulus)
+        assert report.toggles == settled.net_transitions
+
+    @given(st.sampled_from([0, 1, 2, 3]))
+    @settings(max_examples=4, deadline=None)
+    def test_lane_count_invariance(self, seed):
+        """W=64 and W=4096 lanes estimate statistically equal (P, D):
+        the packing width is an implementation detail, not a parameter
+        of the estimator.  Bound: 4 combined standard errors."""
+        import math
+
+        from repro.sim.bitsim import BitParallelSimulator
+
+        c = _bitsim_test_circuit()
+        stats = {
+            "a": SignalStats(0.35, 4.0e5),
+            "b": SignalStats(0.6, 1.0e6),
+            "c": SignalStats(0.5, 7.0e5),
+        }
+        steps = 32
+        narrow = BitParallelSimulator(c, lanes=64).run(stats, steps=steps, seed=seed)
+        wide = BitParallelSimulator(c, lanes=4096).run(stats, steps=steps, seed=seed + 100)
+        assert narrow.dt == wide.dt
+        for net in c.nets():
+            p_narrow, p_wide = narrow.probability(net), wide.probability(net)
+            p = 0.5 * (p_narrow + p_wide)
+            stderr = math.sqrt(max(p * (1 - p), 1e-4)) * (
+                1 / math.sqrt(narrow.samples) + 1 / math.sqrt(wide.samples)
+            )
+            assert abs(p_narrow - p_wide) <= 4 * stderr + 1e-9
+            d_narrow, d_wide = narrow.density(net), wide.density(net)
+            scale = max(d_narrow, d_wide, 1e-12)
+            # Densities are per-step Bernoulli means as well; allow the
+            # same relative sampling slack on the narrow run.
+            assert abs(d_narrow - d_wide) / scale <= 4 / math.sqrt(
+                min(narrow.lanes * (steps - 1), wide.lanes * (steps - 1))
+            ) * 3 + 0.02
