@@ -10,6 +10,7 @@ Public API highlights
 - :class:`repro.core.GatePowerModel` — the extended stochastic power model.
 - :func:`repro.core.optimize_circuit` — the paper's Figure 3 algorithm.
 - :class:`repro.sim.SwitchLevelSimulator` — switch-level power validation.
+- :class:`repro.incremental.StatsCache` — incremental (P, D) under ECO edits.
 - :func:`repro.timing.circuit_delay` — Elmore-based static timing.
 - :mod:`repro.analysis` — drivers regenerating every table and figure.
 """
@@ -23,6 +24,7 @@ from . import (  # noqa: F401
     circuit,
     core,
     gates,
+    incremental,
     sim,
     stochastic,
     synth,
@@ -36,6 +38,7 @@ __all__ = [
     "circuit",
     "core",
     "gates",
+    "incremental",
     "sim",
     "stochastic",
     "synth",

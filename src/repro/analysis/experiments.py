@@ -44,6 +44,8 @@ __all__ = [
     "run_table3_case",
     "run_table3",
     "run_adder_activity",
+    "EcoRow",
+    "run_eco",
 ]
 
 
@@ -235,6 +237,86 @@ def run_table3(subset: Optional[str] = "quick",
             run_table3_case(case, scenario, **kwargs) for case in cases
         ]
     return results
+
+
+# ----------------------------------------------------------------------
+# ECO replay — scripted edits against the incremental engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EcoRow:
+    """One scripted edit: what changed and what it cost.
+
+    Powers are modelled totals (W); ``cone`` is how many gates the
+    incremental engine re-propagated — the work the edit actually
+    caused, versus ``gates`` for a from-scratch recompute.
+    """
+
+    index: int
+    label: str
+    cone: int
+    power_before: float
+    power_after: float
+    delay_before: float
+    delay_after: float
+
+    @property
+    def delta_power(self) -> float:
+        return self.power_after - self.power_before
+
+    @property
+    def delta_delay(self) -> float:
+        return self.delay_after - self.delay_before
+
+
+def run_eco(circuit: Circuit,
+            input_stats: Dict[str, SignalStats],
+            script: Sequence[Dict],
+            backend: str = "analytic",
+            model: Optional[GatePowerModel] = None,
+            po_load: float = DEFAULT_PO_LOAD,
+            **backend_kwargs) -> List[EcoRow]:
+    """Apply a JSON edit script in order, reporting per-edit deltas.
+
+    ``circuit`` is edited **in place** (callers wanting to keep the
+    original should pass ``circuit.copy()``).  Each script entry is
+    resolved against the circuit state the previous edits produced, so
+    e.g. a ``reorder`` after a ``retemplate`` indexes the new
+    template's configurations.  Statistics and power are maintained by
+    a :class:`repro.incremental.StatsCache` with the chosen backend —
+    every edit costs cone-sized work, which the ``cone`` column records.
+    """
+    from ..incremental import StatsCache
+    from ..incremental.eco import InputStatsEdit, resolve_edit, script_edit_label
+
+    model = model if model is not None else GatePowerModel()
+    cache = StatsCache(circuit, input_stats, backend=backend, model=model,
+                       po_load=po_load, **backend_kwargs)
+    rows: List[EcoRow] = []
+    try:
+        power = cache.total_power()
+        delay = circuit_delay(circuit, model.tech, po_load)
+        for index, entry in enumerate(script):
+            edit = resolve_edit(circuit, entry)
+            repropagated = cache.gates_repropagated
+            if isinstance(edit, InputStatsEdit):
+                cache.set_input_stats(edit.net, edit.stats)
+            else:
+                circuit.apply_edit(edit)
+            power_after = cache.total_power()  # refreshes the dirty cone
+            delay_after = circuit_delay(circuit, model.tech, po_load)
+            rows.append(EcoRow(
+                index=index,
+                label=script_edit_label(edit),
+                cone=cache.gates_repropagated - repropagated,
+                power_before=power,
+                power_after=power_after,
+                delay_before=delay,
+                delay_after=delay_after,
+            ))
+            power, delay = power_after, delay_after
+    finally:
+        cache.close()
+    return rows
 
 
 # ----------------------------------------------------------------------

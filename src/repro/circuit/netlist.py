@@ -11,17 +11,59 @@ is what the optimiser rewrites.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..gates.capacitance import TechParams, pin_capacitance
 from ..gates.library import GateConfig, GateLibrary, GateTemplate
 from ..gates.network import CompiledGate
 
-__all__ = ["GateInstance", "Circuit", "CircuitError"]
+__all__ = [
+    "GateInstance",
+    "Circuit",
+    "CircuitError",
+    "SetConfig",
+    "SetTemplate",
+    "CircuitEdit",
+]
 
 
 class CircuitError(ValueError):
     """Raised for structurally invalid netlists."""
+
+
+# ----------------------------------------------------------------------
+# ECO edits
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SetConfig:
+    """Reorder one gate: replace its transistor ordering.
+
+    ``config=None`` restores the template's default (as-mapped)
+    configuration.  Connectivity and logic function are unchanged.
+    """
+
+    gate: str
+    config: Optional[GateConfig]
+
+
+@dataclass(frozen=True)
+class SetTemplate:
+    """Swap one gate's library cell for a same-arity cell.
+
+    The new template's pins are bound positionally to the nets of the
+    old template's pins, and the instance's configuration is replaced
+    by ``config`` (``None`` = the new template's default) — an old
+    ordering cannot survive a function change.  Connectivity is
+    unchanged, the logic function generally is not.
+    """
+
+    gate: str
+    template: str
+    config: Optional[GateConfig] = None
+
+
+#: The edit algebra accepted by :meth:`Circuit.apply_edit`.
+CircuitEdit = (SetConfig, SetTemplate)
 
 
 @dataclass
@@ -67,6 +109,7 @@ class Circuit:
         self.outputs: List[str] = []
         self._gates: Dict[str, GateInstance] = {}
         self._driver: Dict[str, GateInstance] = {}
+        self._edit_listeners: List[Callable[[str, str], None]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -155,6 +198,69 @@ class Circuit:
     def area(self) -> float:
         """Total area (configuration-independent, as the paper notes)."""
         return float(sum(g.template.area for g in self._gates.values()))
+
+    # ------------------------------------------------------------------
+    # ECO edits (see the dataclasses at module top)
+    # ------------------------------------------------------------------
+    def add_edit_listener(self, callback: Callable[[str, str], None]) -> None:
+        """Register ``callback(gate_name, kind)`` for every applied edit.
+
+        ``kind`` is ``"config"`` or ``"template"``.  Incremental caches
+        (:class:`repro.incremental.StatsCache`) subscribe here so that
+        edits through any code path invalidate them.
+        """
+        self._edit_listeners.append(callback)
+
+    def remove_edit_listener(self, callback: Callable[[str, str], None]) -> None:
+        self._edit_listeners.remove(callback)
+
+    def _notify_edit(self, gate_name: str, kind: str) -> None:
+        for callback in self._edit_listeners:
+            callback(gate_name, kind)
+
+    def apply_edit(self, edit) -> "SetConfig | SetTemplate":
+        """Apply one :data:`CircuitEdit` in place; return its inverse.
+
+        The returned edit, applied through this same method, restores
+        the gate exactly (template, pin bindings and configuration) —
+        the primitive the :class:`repro.incremental.WhatIf` rollback is
+        built on.  Neither edit kind changes connectivity, so fanout
+        indices and topological orders stay valid.
+        """
+        if isinstance(edit, SetConfig):
+            gate = self.gate(edit.gate)
+            inverse = SetConfig(gate.name, gate.config)
+            gate.config = edit.config
+            self._notify_edit(gate.name, "config")
+            return inverse
+        if isinstance(edit, SetTemplate):
+            gate = self.gate(edit.gate)
+            template = self.library[edit.template]
+            if len(template.pins) != len(gate.template.pins):
+                raise CircuitError(
+                    f"gate {gate.name}: cannot swap {gate.template.name} "
+                    f"({len(gate.template.pins)} pins) for {template.name} "
+                    f"({len(template.pins)} pins)"
+                )
+            inverse = SetTemplate(gate.name, gate.template.name, gate.config)
+            gate.pin_nets = {
+                new_pin: gate.pin_nets[old_pin]
+                for new_pin, old_pin in zip(template.pins, gate.template.pins)
+            }
+            gate.template = template
+            gate.config = edit.config
+            self._notify_edit(gate.name, "template")
+            return inverse
+        raise TypeError(f"unknown edit {edit!r}; expected one of {CircuitEdit}")
+
+    def set_config(self, gate_name: str, config: Optional[GateConfig]) -> SetConfig:
+        """Reorder ``gate_name``; returns the inverse edit."""
+        return self.apply_edit(SetConfig(gate_name, config))
+
+    def set_template(self, gate_name: str, template_name: str,
+                     config: Optional[GateConfig] = None) -> SetTemplate:
+        """Swap ``gate_name``'s cell; returns the inverse edit."""
+        return self.apply_edit(SetTemplate(gate_name, template_name, config))
 
     # ------------------------------------------------------------------
     # Validation / copying

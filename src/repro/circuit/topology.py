@@ -10,11 +10,18 @@ limit); ties are broken by gate creation order for reproducibility.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from .netlist import Circuit, CircuitError, GateInstance
 
-__all__ = ["topological_gates", "levelize", "transitive_fanin", "reachable_from_outputs"]
+__all__ = [
+    "topological_gates",
+    "levelize",
+    "transitive_fanin",
+    "transitive_fanout",
+    "reachable_from_outputs",
+    "FanoutIndex",
+]
 
 
 def topological_gates(circuit: Circuit) -> List[GateInstance]:
@@ -72,6 +79,75 @@ def transitive_fanin(circuit: Circuit, net: str) -> Tuple[GateInstance, ...]:
             continue
         cone.add(gate.name)
         stack.extend(gate.fanin_nets)
+    return tuple(g for g in topological_gates(circuit) if g.name in cone)
+
+
+class FanoutIndex:
+    """Reverse connectivity of a netlist, built once and reused.
+
+    :meth:`Circuit.fanout` scans every gate on each call — O(gates) per
+    query, which makes cone walks quadratic.  The index inverts the
+    pin bindings once (O(gates × pins)) and answers sink and cone
+    queries in output-proportional time.  The supported circuit edits
+    (:meth:`Circuit.apply_edit`: reorderings, same-arity template
+    swaps, input statistics) never change connectivity, so an index
+    stays valid across them; rebuild it after structural surgery.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self._sinks: Dict[str, List[Tuple[GateInstance, str]]] = {}
+        self._gate_sinks: Dict[str, List[GateInstance]] = {}
+        for gate in circuit.gates:
+            seen_nets = set()
+            for pin in gate.template.pins:
+                net = gate.pin_nets[pin]
+                self._sinks.setdefault(net, []).append((gate, pin))
+                pred = circuit.driver(net)
+                if pred is not None and net not in seen_nets:
+                    self._gate_sinks.setdefault(pred.name, []).append(gate)
+                    seen_nets.add(net)
+
+    def sinks(self, net: str) -> Tuple[Tuple[GateInstance, str], ...]:
+        """(gate, pin) sinks of ``net`` — :meth:`Circuit.fanout` in O(result)."""
+        return tuple(self._sinks.get(net, ()))
+
+    def gate_sinks(self, gate_name: str) -> Tuple[GateInstance, ...]:
+        """Gates with at least one pin on ``gate_name``'s output."""
+        return tuple(self._gate_sinks.get(gate_name, ()))
+
+    def cone_from_gates(self, gate_names: Iterable[str]) -> frozenset:
+        """Names of the seed gates plus their transitive fanout gates.
+
+        This is the dirty set of an edit touching the seed gates: every
+        gate whose output statistics can depend on them.
+        """
+        cone = set()
+        stack = list(gate_names)
+        while stack:
+            name = stack.pop()
+            if name in cone:
+                continue
+            cone.add(name)
+            stack.extend(g.name for g in self._gate_sinks.get(name, ()))
+        return frozenset(cone)
+
+    def cone_from_nets(self, nets: Iterable[str]) -> frozenset:
+        """Names of all gates in the transitive fanout of the given nets."""
+        seeds = [gate.name for net in nets for gate, _ in self._sinks.get(net, ())]
+        return self.cone_from_gates(seeds)
+
+
+def transitive_fanout(circuit: Circuit, net: str,
+                      index: FanoutIndex = None) -> Tuple[GateInstance, ...]:
+    """All gates in the fanout cone of ``net``, in topological order.
+
+    The mirror of :func:`transitive_fanin`; ``index`` reuses an
+    existing :class:`FanoutIndex` instead of building a throwaway one.
+    """
+    if index is None:
+        index = FanoutIndex(circuit)
+    cone = index.cone_from_nets([net])
     return tuple(g for g in topological_gates(circuit) if g.name in cone)
 
 

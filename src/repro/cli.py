@@ -8,6 +8,8 @@ Subcommands::
     bench [--jobs N ...]   parallel Table-3 sweep -> JSON result artifact
     adder [--width N]      the ripple-carry activity profile (§1.1)
     optimize FILE.blif     map + optimise a BLIF circuit, report savings
+    eco FILE.blif SCRIPT   replay a JSON edit script incrementally,
+                           reporting per-edit delta power/delay
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from .analysis.experiments import (
 )
 from .analysis.report import format_percent, format_si, format_table
 from .analysis.stats import mean
+from .core.optimizer import OBJECTIVES
 
 __all__ = ["main", "build_parser"]
 
@@ -75,10 +78,47 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument("blif", help="path to a combinational BLIF file")
     po.add_argument("--scenario", choices=["A", "B"], default="A")
     po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--stats",
+                    choices=["model", "analytic", "local", "exact", "sampled"],
+                    default="model",
+                    help="(P, D) estimator driving the optimisation "
+                         "('analytic' is an alias for the default 'model' flow; "
+                         "'sampled' runs the bit-parallel Monte Carlo engine)")
+    po.add_argument("--lanes", type=_positive_int, default=None,
+                    help="sample lanes for --stats sampled")
+    po.add_argument("--objective", choices=list(OBJECTIVES), default="best",
+                    help="optimisation objective (default: best)")
+    po.add_argument("--passes", type=_positive_int, default=1,
+                    help="re-optimisation passes (iterate until the "
+                         "configuration assignment stops changing)")
     po.add_argument("--save-blif", metavar="PATH",
                     help="write the optimised netlist as mapped BLIF")
     po.add_argument("--save-verilog", metavar="PATH",
                     help="write the optimised netlist as structural Verilog")
+
+    pe = sub.add_parser(
+        "eco",
+        help="replay a JSON edit script against the incremental engine",
+    )
+    pe.add_argument("blif", help="path to a combinational BLIF file")
+    pe.add_argument("script",
+                    help="JSON edit script: a list of "
+                         '{"op": "reorder"|"retemplate"|"input-stats", ...} '
+                         "entries (see repro.incremental.eco)")
+    pe.add_argument("--scenario", choices=["A", "B"], default="A")
+    pe.add_argument("--seed", type=int, default=0)
+    pe.add_argument("--backend", choices=["analytic", "sampled"],
+                    default="analytic")
+    pe.add_argument("--lanes", type=_positive_int, default=None,
+                    help="sample lanes for --backend sampled")
+    pe.add_argument("--steps", type=_positive_int, default=None,
+                    help="time steps for --backend sampled")
+    pe.add_argument("--dt", type=float, default=None,
+                    help="explicit step size for --backend sampled (needed "
+                         "when input-stats edits shorten dwell times below "
+                         "the initial ones)")
+    pe.add_argument("--out", metavar="PATH",
+                    help="write the JSON result artifact here")
     return parser
 
 
@@ -185,6 +225,10 @@ def _cmd_adder(out, width: int) -> int:
 
 
 def _cmd_optimize(out, path: str, scenario: str, seed: int,
+                  stats_source: str = "model",
+                  lanes: Optional[int] = None,
+                  objective: str = "best",
+                  passes: int = 1,
                   save_blif: Optional[str] = None,
                   save_verilog: Optional[str] = None) -> int:
     from .circuit.blif import load_blif, write_mapped_blif
@@ -194,32 +238,143 @@ def _cmd_optimize(out, path: str, scenario: str, seed: int,
     from .synth.mapper import map_circuit
     from .timing.sta import circuit_delay
 
+    if stats_source == "analytic":
+        stats_source = "model"  # alias: the paper's analytic model flow
+    stats_kwargs = {}
+    if stats_source == "sampled":
+        stats_kwargs["seed"] = seed
+        if lanes is not None:
+            stats_kwargs["lanes"] = lanes
+    elif lanes is not None:
+        raise SystemExit("--lanes requires --stats sampled")
+
     network = load_blif(path)
     circuit = map_circuit(network)
     generator = ScenarioA(seed=seed) if scenario == "A" else ScenarioB(seed=seed)
     stats = generator.input_stats(circuit.inputs)
-    best = optimize_circuit(circuit, stats, objective="best")
-    worst = optimize_circuit(circuit, stats, objective="worst")
+    chosen = optimize_circuit(circuit, stats, objective=objective,
+                              stats=stats_source, stats_kwargs=stats_kwargs,
+                              passes=passes)
+    worst = chosen if objective == "worst" and passes == 1 else optimize_circuit(
+        circuit, stats, objective="worst",
+        stats=stats_source, stats_kwargs=stats_kwargs,
+    )
     out.write(f"circuit        : {network.name}\n")
     out.write(f"mapped gates   : {len(circuit)}\n")
     out.write(f"gate mix       : {circuit.gate_count_by_template()}\n")
-    out.write(f"model power    : {format_si(best.power_after, 'W')} (optimised), "
+    out.write(f"objective      : {objective} (stats={stats_source}"
+              + (f", lanes={lanes}" if lanes else "")
+              + (f", passes={chosen.passes_run}/{passes}" if passes > 1 else "")
+              + ")\n")
+    out.write(f"model power    : {format_si(chosen.power_after, 'W')} (optimised), "
               f"{format_si(worst.power_after, 'W')} (worst ordering)\n")
-    saving = 1.0 - best.power_after / worst.power_after if worst.power_after else 0.0
-    out.write(f"best vs worst  : {format_percent(saving)}% power reduction\n")
+    saving = 1.0 - chosen.power_after / worst.power_after if worst.power_after else 0.0
+    label = "best vs worst" if objective == "best" else f"{objective} vs worst"
+    out.write(f"{label:<15}: {format_percent(saving)}% power reduction\n")
     d0 = circuit_delay(circuit)
-    d1 = circuit_delay(best.circuit)
+    d1 = circuit_delay(chosen.circuit)
     change = (d1 - d0) / d0 if d0 else 0.0
     out.write(f"delay          : {format_si(d0, 's')} -> {format_si(d1, 's')} "
               f"({format_percent(change)}%)\n")
     if save_blif:
         with open(save_blif, "w") as handle:
-            handle.write(write_mapped_blif(best.circuit))
+            handle.write(write_mapped_blif(chosen.circuit))
         out.write(f"wrote mapped BLIF to {save_blif}\n")
     if save_verilog:
         with open(save_verilog, "w") as handle:
-            handle.write(write_verilog(best.circuit))
+            handle.write(write_verilog(chosen.circuit))
         out.write(f"wrote Verilog to {save_verilog}\n")
+    return 0
+
+
+def _cmd_eco(out, path: str, script_path: str, scenario: str, seed: int,
+             backend: str, lanes: Optional[int], steps: Optional[int],
+             dt: Optional[float], out_path: Optional[str]) -> int:
+    import json
+
+    from .analysis.experiments import run_eco
+    from .bench.runner import SCHEMA_VERSION, write_artifact
+    from .circuit.blif import load_blif
+    from .sim.stimulus import ScenarioA, ScenarioB
+    from .synth.mapper import map_circuit
+
+    with open(script_path) as handle:
+        script = json.load(handle)
+    if not isinstance(script, list):
+        raise SystemExit(f"{script_path}: expected a JSON list of edits")
+
+    backend_kwargs = {}
+    if backend == "sampled":
+        backend_kwargs["seed"] = seed
+        for name, value in (("lanes", lanes), ("steps", steps), ("dt", dt)):
+            if value is not None:
+                backend_kwargs[name] = value
+    else:
+        given = [n for n, v in (("--lanes", lanes), ("--steps", steps),
+                                ("--dt", dt)) if v is not None]
+        if given:
+            raise SystemExit(f"{', '.join(given)} requires --backend sampled")
+
+    network = load_blif(path)
+    circuit = map_circuit(network)
+    generator = ScenarioA(seed=seed) if scenario == "A" else ScenarioB(seed=seed)
+    stats = generator.input_stats(circuit.inputs)
+    try:
+        rows = run_eco(circuit, stats, script, backend=backend, **backend_kwargs)
+    except ValueError as error:
+        # e.g. the sampled backend's frozen dt becoming too coarse for an
+        # input-stats edit; surface the remedy instead of a traceback.
+        raise SystemExit(
+            f"eco failed: {error}\n"
+            "(for --backend sampled, pass an explicit --dt small enough for "
+            "every input-stats edit in the script)"
+        )
+
+    table = [
+        (row.index, row.label, row.cone,
+         format_si(row.delta_power, "W"), format_si(row.power_after, "W"),
+         format_percent((row.delta_delay / row.delay_before)
+                        if row.delay_before else 0.0))
+        for row in rows
+    ]
+    out.write(format_table(
+        ("#", "edit", "cone", "dP", "P after", "dD%"), table,
+        title=f"eco - {network.name} ({len(circuit)} gates, "
+              f"backend={backend})",
+    ))
+    out.write("\n")
+    if rows:
+        total = rows[-1].power_after - rows[0].power_before
+        out.write(f"{len(rows)} edits, net power change "
+                  f"{format_si(total, 'W')}; re-propagated "
+                  f"{sum(r.cone for r in rows)} gate cones "
+                  f"vs {len(rows) * len(circuit)} from scratch\n")
+    if out_path:
+        artifact = {
+            "schema": SCHEMA_VERSION,
+            "eco": {
+                "circuit": network.name,
+                "gates": len(circuit),
+                "scenario": scenario,
+                "seed": seed,
+                "backend": backend,
+                "script": script,
+            },
+            "results": [
+                {
+                    "index": row.index,
+                    "edit": row.label,
+                    "cone": row.cone,
+                    "power_before": row.power_before,
+                    "power_after": row.power_after,
+                    "delay_before": row.delay_before,
+                    "delay_after": row.delay_after,
+                }
+                for row in rows
+            ],
+        }
+        write_artifact(artifact, out_path)
+        out.write(f"wrote JSON artifact to {out_path}\n")
     return 0
 
 
@@ -240,7 +395,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_adder(out, args.width)
     if args.command == "optimize":
         return _cmd_optimize(out, args.blif, args.scenario, args.seed,
-                             args.save_blif, args.save_verilog)
+                             args.stats, args.lanes, args.objective,
+                             args.passes, args.save_blif, args.save_verilog)
+    if args.command == "eco":
+        return _cmd_eco(out, args.blif, args.script, args.scenario, args.seed,
+                        args.backend, args.lanes, args.steps, args.dt, args.out)
     raise AssertionError("unreachable")
 
 

@@ -97,6 +97,10 @@ class OptimizeResult:
     power_after: float
     """Total modelled power with the chosen configurations."""
 
+    passes_run: int = 1
+    """Traversals actually executed (< the requested ``passes`` when the
+    configuration assignment reached a fixed point early)."""
+
     @property
     def reduction(self) -> float:
         """Fractional power reduction relative to the input circuit."""
@@ -135,6 +139,7 @@ def optimize_circuit(
     po_load: float = DEFAULT_PO_LOAD,
     stats: str = "model",
     stats_kwargs: Optional[Mapping] = None,
+    passes: int = 1,
 ) -> OptimizeResult:
     """Run the Figure 3 algorithm and return a reordered copy of ``circuit``.
 
@@ -145,6 +150,15 @@ def optimize_circuit(
     with :func:`repro.stochastic.density.propagate_stats` (the sampled
     source runs the bit-parallel Monte Carlo engine; ``stats_kwargs``
     forwards its ``lanes``/``steps``/``dt``/``seed`` options).
+
+    ``passes`` repeats the traversal up to that many times, stopping
+    early at a fixed point.  The paper's single pass is per-gate
+    optimal *under the model*, but a gate's external load depends on
+    its sinks' pin capacitances — which the same pass may still change
+    after the gate was decided.  Later passes re-decide every gate
+    against the loads the previous pass settled on; the reported
+    ``power_before`` always refers to the input circuit and
+    ``power_after`` to the final pass.
     """
     if objective not in OBJECTIVES:
         raise ValueError(f"unknown objective {objective!r}; choose from {OBJECTIVES}")
@@ -156,6 +170,8 @@ def optimize_circuit(
         raise TypeError(
             f"stats_kwargs {sorted(stats_kwargs)} need a non-default stats source"
         )
+    if passes < 1:
+        raise ValueError("passes must be at least 1")
     model = model if model is not None else GatePowerModel()
     missing = [n for n in circuit.inputs if n not in input_stats]
     if missing:
@@ -169,56 +185,75 @@ def optimize_circuit(
         precomputed = propagate_stats(
             circuit, input_stats, method=stats, **dict(stats_kwargs or {})
         )
-    net_stats: Dict[str, SignalStats] = (
-        dict(precomputed) if precomputed is not None
-        else {n: input_stats[n] for n in circuit.inputs}
-    )
-    decisions: List[GateDecision] = []
-    power_before = 0.0
+
+    power_before: Optional[float] = None
     power_after = 0.0
+    decisions: List[GateDecision] = []
+    net_stats: Dict[str, SignalStats] = {}
+    passes_run = 0
 
-    for gate in topological_gates(result_circuit):
-        template = gate.template
-        pin_stats = _pin_stats(gate, net_stats)
-        load = result_circuit.output_load(gate.output, model.tech, po_load)
-        evaluations = evaluate_configurations(template, pin_stats, model, load)
-        by_key = {e.config.key(): e for e in evaluations}
-
-        original_eval = by_key[gate.effective_config().key()]
-        default_eval = by_key[template.default_config().key()]
-
-        candidates = evaluations
-        if objective == "delay-constrained":
-            candidates = _delay_feasible(
-                gate, evaluations, default_eval, model.tech, load
-            )
-        if objective == "worst":
-            chosen = min(candidates, key=lambda e: (-e.power, e.config.key()))
-        elif objective == "fastest":
-            chosen = min(
-                candidates,
-                key=lambda e: (
-                    gate_worst_delay(
-                        template.compile_config(e.config), e.config,
-                        model.tech, load,
-                    ),
-                    e.config.key(),
-                ),
-            )
-        else:
-            chosen = min(candidates, key=lambda e: (e.power, e.config.key()))
-
-        gate.config = chosen.config
-        decisions.append(
-            GateDecision(gate.name, template.name, len(evaluations),
-                         chosen, default_eval.power)
+    for _ in range(passes):
+        passes_run += 1
+        changed = False
+        decisions = []
+        pass_power_before = 0.0
+        power_after = 0.0
+        net_stats = (
+            dict(precomputed) if precomputed is not None
+            else {n: input_stats[n] for n in circuit.inputs}
         )
-        power_before += original_eval.power
-        power_after += chosen.power
-        if precomputed is None:
-            net_stats[gate.output] = model.output_stats(gate.compiled(), pin_stats)
 
-    return OptimizeResult(result_circuit, net_stats, decisions, power_before, power_after)
+        for gate in topological_gates(result_circuit):
+            template = gate.template
+            pin_stats = _pin_stats(gate, net_stats)
+            load = result_circuit.output_load(gate.output, model.tech, po_load)
+            evaluations = evaluate_configurations(template, pin_stats, model, load)
+            by_key = {e.config.key(): e for e in evaluations}
+
+            entry_key = gate.effective_config().key()
+            original_eval = by_key[entry_key]
+            default_eval = by_key[template.default_config().key()]
+
+            candidates = evaluations
+            if objective == "delay-constrained":
+                candidates = _delay_feasible(
+                    gate, evaluations, default_eval, model.tech, load
+                )
+            if objective == "worst":
+                chosen = min(candidates, key=lambda e: (-e.power, e.config.key()))
+            elif objective == "fastest":
+                chosen = min(
+                    candidates,
+                    key=lambda e: (
+                        gate_worst_delay(
+                            template.compile_config(e.config), e.config,
+                            model.tech, load,
+                        ),
+                        e.config.key(),
+                    ),
+                )
+            else:
+                chosen = min(candidates, key=lambda e: (e.power, e.config.key()))
+
+            if chosen.config.key() != entry_key:
+                changed = True
+            gate.config = chosen.config
+            decisions.append(
+                GateDecision(gate.name, template.name, len(evaluations),
+                             chosen, default_eval.power)
+            )
+            pass_power_before += original_eval.power
+            power_after += chosen.power
+            if precomputed is None:
+                net_stats[gate.output] = model.output_stats(gate.compiled(), pin_stats)
+
+        if power_before is None:
+            power_before = pass_power_before
+        if not changed:
+            break
+
+    return OptimizeResult(result_circuit, net_stats, decisions,
+                          power_before, power_after, passes_run)
 
 
 def _delay_feasible(

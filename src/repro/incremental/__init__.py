@@ -1,0 +1,30 @@
+"""Incremental (P, D) maintenance under circuit edits.
+
+The third engine-level subsystem (after the analytic propagation in
+:mod:`repro.stochastic` and the bit-parallel sampler in
+:mod:`repro.sim.bitsim`): instead of recomputing a whole circuit after
+every change, a :class:`StatsCache` watches a :class:`~repro.circuit.netlist.Circuit`
+for ECO edits, marks exactly the edited gates' transitive fanout cones
+dirty, and re-propagates only those gates — through a pluggable
+backend (analytic or sampled) whose incremental results are
+bit-identical to a from-scratch run.
+
+See ``src/repro/incremental/README.md`` for the invalidation rules and
+the backend contract, and :class:`WhatIf` for trial-apply/rollback.
+"""
+
+from .backends import AnalyticBackend, SampledBackend, StatsBackend, make_backend
+from .cache import StatsCache
+from .eco import InputStatsEdit, WhatIf, resolve_edit, script_edit_label
+
+__all__ = [
+    "StatsBackend",
+    "AnalyticBackend",
+    "SampledBackend",
+    "make_backend",
+    "StatsCache",
+    "WhatIf",
+    "InputStatsEdit",
+    "resolve_edit",
+    "script_edit_label",
+]

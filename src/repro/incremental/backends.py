@@ -1,0 +1,194 @@
+"""Pluggable (P, D) backends for the incremental engine.
+
+A backend owns the arithmetic of signal-statistics propagation; the
+:class:`~repro.incremental.cache.StatsCache` owns the dirty-set
+bookkeeping and calls the backend through two methods:
+
+``full(circuit, input_stats)``
+    Propagate everything from scratch and return the complete
+    net-to-:class:`SignalStats` map.  Called once, at cache
+    construction.  A backend may keep internal state (the sampled
+    backend stores every net's packed word history here).
+
+``update(circuit, dirty_gates, input_stats, changed_inputs, net_stats)``
+    Re-propagate exactly ``dirty_gates`` — already sorted in
+    topological order — plus the ``changed_inputs``, reading clean
+    fanin values from ``net_stats`` (the cache's current map, which the
+    backend must not mutate).  Returns the new statistics for the
+    recomputed nets only.
+
+The contract that makes the whole subsystem trustworthy: after any
+supported edit sequence, ``full`` on the edited circuit and the
+accumulated ``update`` results must be **bit-identical** (exact float
+equality, not approximate).  Both backends here achieve it the same
+way — the incremental path runs the very same per-gate arithmetic, in
+the same order, on the same operands as the from-scratch path.
+"""
+
+from __future__ import annotations
+
+from collections import ChainMap
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..circuit.netlist import Circuit, GateInstance
+from ..sim.bitsim import (
+    DEFAULT_LANES,
+    BitParallelSimulator,
+    markov_stream_words,
+    report_from_history,
+    stream_rng,
+)
+from ..stochastic.density import local_gate_stats, local_stats
+from ..stochastic.signal import SignalStats
+
+__all__ = ["StatsBackend", "AnalyticBackend", "SampledBackend", "make_backend"]
+
+
+class StatsBackend:
+    """Abstract backend; see the module docstring for the contract."""
+
+    name = "abstract"
+
+    def full(self, circuit: Circuit,
+             input_stats: Mapping[str, SignalStats]) -> Dict[str, SignalStats]:
+        raise NotImplementedError
+
+    def update(self, circuit: Circuit,
+               dirty_gates: Sequence[GateInstance],
+               input_stats: Mapping[str, SignalStats],
+               changed_inputs: FrozenSet[str],
+               net_stats: Mapping[str, SignalStats]) -> Dict[str, SignalStats]:
+        raise NotImplementedError
+
+
+class AnalyticBackend(StatsBackend):
+    """Gate-local analytic density propagation (the paper's engine).
+
+    Stateless: each gate's output (P, D) is a pure function of its
+    fanin nets' statistics (:func:`repro.stochastic.density.local_gate_stats`),
+    so re-running it on a dirty cone in topological order reproduces a
+    from-scratch :func:`~repro.stochastic.density.local_stats` sweep
+    exactly.
+    """
+
+    name = "analytic"
+
+    def full(self, circuit, input_stats):
+        return local_stats(circuit, input_stats)
+
+    def update(self, circuit, dirty_gates, input_stats, changed_inputs, net_stats):
+        updates: Dict[str, SignalStats] = {
+            net: input_stats[net] for net in changed_inputs
+        }
+        view = ChainMap(updates, net_stats)
+        for gate in dirty_gates:
+            updates[gate.output] = local_gate_stats(gate, view)
+        return updates
+
+
+class SampledBackend(StatsBackend):
+    """Bit-parallel Monte Carlo measurement with lane-history re-settling.
+
+    ``full`` draws every input's Markov-chain word stream from its own
+    RNG substream (:func:`repro.sim.bitsim.stream_rng`), settles the
+    whole circuit once, and keeps the per-net, per-step word history.
+    ``update`` then re-settles only the dirty gates' streams against
+    the stored history (:meth:`BitParallelSimulator.resettle`) —
+    cone-sized work per edit — and re-counts only the updated nets.
+
+    Two consequences of the per-input substreams:
+
+    * editing one input's :class:`SignalStats` regenerates only that
+      input's stream, so the dirty set stays the input's fanout cone;
+    * the estimates differ from :func:`repro.sim.bitsim.sampled_stats`
+      (which interleaves all inputs on one shared stream) by RNG
+      stream only — same estimator, same distribution.
+
+    The step size ``dt`` is resolved once, at ``full`` time (half the
+    shortest mean input dwell when not given), and then **frozen** —
+    a statistics edit that re-derived ``dt`` would perturb every
+    stream and dirty the whole circuit.  Pass an explicit ``dt`` when
+    what-if edits may shorten dwell times below the initial ones.
+    """
+
+    name = "sampled"
+
+    def __init__(self, lanes: int = DEFAULT_LANES, steps: int = 64,
+                 dt: Optional[float] = None, seed: int = 0):
+        if steps < 1:
+            raise ValueError("need at least one time step")
+        self.lanes = lanes
+        self.steps = steps
+        self.seed = seed
+        self.dt = dt
+        self._simulator: Optional[BitParallelSimulator] = None
+        self._history: Optional[Dict[str, list]] = None
+
+    def _resolve_dt(self, circuit, input_stats) -> float:
+        if self.dt is not None:
+            if self.dt <= 0.0:
+                raise ValueError("dt must be positive")
+            return self.dt
+        shortest = np.inf
+        for net in circuit.inputs:
+            stats = input_stats[net]
+            shortest = min(shortest, stats.mean_high_dwell, stats.mean_low_dwell)
+        return 0.5 * shortest if np.isfinite(shortest) else 1.0
+
+    def full(self, circuit, input_stats):
+        self.dt = self._resolve_dt(circuit, input_stats)
+        self._simulator = BitParallelSimulator(circuit, self.lanes)
+        streams = {
+            net: markov_stream_words(
+                input_stats[net], self.lanes, self.steps, self.dt,
+                stream_rng(self.seed, net),
+            )
+            for net in circuit.inputs
+        }
+        self._history = self._simulator.settle_streams(streams)
+        report = report_from_history(self._history, self.lanes, self.dt)
+        return report.stats_map()
+
+    def update(self, circuit, dirty_gates, input_stats, changed_inputs, net_stats):
+        if self._history is None:
+            raise RuntimeError("update() before full()")
+        for net in changed_inputs:
+            self._history[net] = markov_stream_words(
+                input_stats[net], self.lanes, self.steps, self.dt,
+                stream_rng(self.seed, net),
+            )
+        self._simulator.resettle(self._history, dirty_gates)
+        updated = set(changed_inputs)
+        updated.update(g.output for g in dirty_gates)
+        report = report_from_history(
+            {net: self._history[net] for net in updated}, self.lanes, self.dt
+        )
+        return {net: report.measured_stats(net) for net in updated}
+
+
+def make_backend(backend, **kwargs) -> StatsBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``"analytic"``/``"local"`` select :class:`AnalyticBackend`;
+    ``"sampled"`` selects :class:`SampledBackend` (forwarding
+    ``lanes``/``steps``/``dt``/``seed``).
+    """
+    if isinstance(backend, StatsBackend):
+        if kwargs:
+            raise TypeError(
+                f"backend arguments {sorted(kwargs)} conflict with an instance"
+            )
+        return backend
+    if backend in ("analytic", "local"):
+        if kwargs:
+            raise TypeError(
+                f"the analytic backend takes no arguments: {sorted(kwargs)}"
+            )
+        return AnalyticBackend()
+    if backend == "sampled":
+        return SampledBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {backend!r}; use 'analytic', 'sampled' or an instance"
+    )

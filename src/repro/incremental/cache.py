@@ -1,0 +1,205 @@
+"""The dirty-cone statistics cache.
+
+:class:`StatsCache` maintains the full net-to-(P, D) map of a circuit
+under ECO edits.  Invalidation rules (see README.md):
+
+* ``SetConfig`` / ``SetTemplate`` on gate *g* — through
+  :meth:`Circuit.apply_edit` or the convenience wrappers — dirties
+  exactly *g* plus its transitive fanout gates;
+* :meth:`set_input_stats` on input net *x* dirties exactly the gates in
+  *x*'s transitive fanout;
+* nothing else dirties anything (the supported edits never change
+  connectivity, so the fanout index and topological order are built
+  once).
+
+:meth:`refresh` re-propagates the dirty set in topological order via
+the configured backend and is called lazily by every read accessor.
+Gate power reports are cached too, with a slightly wider dirty set:
+an edited gate's *fanin drivers* also go power-dirty, because a new
+compiled form can change pin capacitances and hence the load those
+drivers see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..circuit.topology import FanoutIndex, topological_gates
+from ..core.optimizer import CircuitPowerReport
+from ..core.power_model import GatePowerModel, GatePowerReport
+from ..gates.capacitance import pin_capacitance
+from ..stochastic.signal import SignalStats
+from ..timing.sta import DEFAULT_PO_LOAD
+from .backends import make_backend
+
+__all__ = ["StatsCache"]
+
+
+class StatsCache:
+    """Circuit-wide (P, D) and power, re-propagated only where dirty."""
+
+    def __init__(self, circuit: Circuit,
+                 input_stats: Mapping[str, SignalStats],
+                 backend="analytic",
+                 model: Optional[GatePowerModel] = None,
+                 po_load: float = DEFAULT_PO_LOAD,
+                 **backend_kwargs):
+        circuit.validate()
+        missing = [n for n in circuit.inputs if n not in input_stats]
+        if missing:
+            raise KeyError(f"missing input statistics for {missing}")
+        self.circuit = circuit
+        self.backend = make_backend(backend, **backend_kwargs)
+        self.model = model if model is not None else GatePowerModel()
+        self.po_load = po_load
+        self.index = FanoutIndex(circuit)
+        self._topo_index = {
+            g.name: i for i, g in enumerate(topological_gates(circuit))
+        }
+        self._outputs = frozenset(circuit.outputs)
+        self._input_stats: Dict[str, SignalStats] = {
+            n: input_stats[n] for n in circuit.inputs
+        }
+        self._stats: Dict[str, SignalStats] = dict(
+            self.backend.full(circuit, self._input_stats)
+        )
+        self._dirty: set = set()
+        self._changed_inputs: set = set()
+        self._power: Dict[str, GatePowerReport] = {}
+        self._power_dirty: set = {g.name for g in circuit.gates}
+        #: Total gates re-propagated by :meth:`refresh` calls (the
+        #: benchmark's cone-size measure); the initial full propagation
+        #: is not counted.
+        self.gates_repropagated = 0
+        self.refresh_count = 0
+        circuit.add_edit_listener(self._on_edit)
+        self._subscribed = True
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _on_edit(self, gate_name: str, kind: str) -> None:
+        cone = self.index.cone_from_gates([gate_name])
+        self._dirty |= cone
+        self._power_dirty |= cone
+        # The edited gate's compiled form changed, so its pin
+        # capacitances — the load its fanin drivers see — may have too.
+        gate = self.circuit.gate(gate_name)
+        for net in gate.fanin_nets:
+            pred = self.circuit.driver(net)
+            if pred is not None:
+                self._power_dirty.add(pred.name)
+
+    def set_input_stats(self, net: str, stats: SignalStats) -> SignalStats:
+        """Edit one primary input's statistics; returns the old value."""
+        if net not in self._input_stats:
+            raise KeyError(f"{net!r} is not a primary input")
+        old = self._input_stats[net]
+        if stats == old:
+            return old
+        self._input_stats[net] = stats
+        self._changed_inputs.add(net)
+        cone = self.index.cone_from_nets([net])
+        self._dirty |= cone
+        self._power_dirty |= cone
+        return old
+
+    def input_stats(self, net: str) -> SignalStats:
+        return self._input_stats[net]
+
+    @property
+    def dirty_gates(self) -> frozenset:
+        """Names of gates awaiting re-propagation (for tests/inspection)."""
+        return frozenset(self._dirty)
+
+    # ------------------------------------------------------------------
+    # Reads (lazily refreshing)
+    # ------------------------------------------------------------------
+    def refresh(self) -> Tuple[str, ...]:
+        """Re-propagate the dirty set; returns the recomputed nets."""
+        if not self._dirty and not self._changed_inputs:
+            return ()
+        order = self._topo_index
+        dirty_gates = [
+            self.circuit.gate(name)
+            for name in sorted(self._dirty, key=order.__getitem__)
+        ]
+        updates = self.backend.update(
+            self.circuit, dirty_gates, self._input_stats,
+            frozenset(self._changed_inputs), self._stats,
+        )
+        self._stats.update(updates)
+        self.gates_repropagated += len(dirty_gates)
+        self.refresh_count += 1
+        self._dirty.clear()
+        self._changed_inputs.clear()
+        return tuple(updates)
+
+    def stats(self) -> Dict[str, SignalStats]:
+        """The full, up-to-date net-statistics map (treat as read-only)."""
+        self.refresh()
+        return self._stats
+
+    def __getitem__(self, net: str) -> SignalStats:
+        self.refresh()
+        return self._stats[net]
+
+    # ------------------------------------------------------------------
+    # Power
+    # ------------------------------------------------------------------
+    def _output_load(self, net: str) -> float:
+        tech = self.model.tech
+        load = sum(
+            pin_capacitance(gate.compiled(), pin, tech)
+            for gate, pin in self.index.sinks(net)
+        )
+        if net in self._outputs:
+            load += self.po_load
+        return load
+
+    def _refresh_power(self) -> None:
+        self.refresh()
+        # Sorted iteration: string-set order varies with per-process
+        # hash randomisation, and a run-varying float summation order
+        # would make repeated runs differ in the last ulp.
+        for name in sorted(self._power_dirty, key=self._topo_index.__getitem__):
+            gate = self.circuit.gate(name)
+            pin_stats = {
+                pin: self._stats[gate.pin_nets[pin]]
+                for pin in gate.template.pins
+            }
+            self._power[name] = self.model.gate_power(
+                gate.compiled(), pin_stats, self._output_load(gate.output)
+            )
+        self._power_dirty.clear()
+
+    def total_power(self) -> float:
+        """Total modelled power, recomputing only power-dirty gates."""
+        self._refresh_power()
+        return sum(self._power[name].total for name in self._topo_index)
+
+    def power(self) -> CircuitPowerReport:
+        """A full :class:`CircuitPowerReport`, incrementally maintained."""
+        self._refresh_power()
+        total = sum(self._power[name].total for name in self._topo_index)
+        return CircuitPowerReport(total, dict(self._power), dict(self._stats))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the circuit's edit notifications."""
+        if self._subscribed:
+            self.circuit.remove_edit_listener(self._on_edit)
+            self._subscribed = False
+
+    def __enter__(self) -> "StatsCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"StatsCache({self.circuit.name!r}, backend={self.backend.name!r}, "
+            f"dirty={len(self._dirty)})"
+        )

@@ -1,0 +1,159 @@
+"""What-if trials and the scripted ECO edit vocabulary.
+
+:class:`WhatIf` wraps a :class:`~repro.incremental.cache.StatsCache`:
+edits applied through it are trial edits — read the delta power, then
+either :meth:`~WhatIf.commit` or let the ``with`` block roll everything
+back.  Rollback replays the recorded inverse edits in reverse order
+through the same dirty-cone machinery, so the cache lands back on
+bit-identical statistics and power (cone-sized work both ways).
+
+The module also defines the JSON edit-script vocabulary of the
+``repro eco`` CLI subcommand::
+
+    [{"op": "reorder",     "gate": "g3", "config": 2},
+     {"op": "retemplate",  "gate": "g7", "template": "nor2"},
+     {"op": "input-stats", "net": "a", "probability": 0.3, "density": 2e5}]
+
+``"config"`` indexes the gate template's deterministic
+:meth:`~repro.gates.library.GateTemplate.configurations` enumeration
+(-1 = the template default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Union
+
+from ..circuit.netlist import Circuit, SetConfig, SetTemplate
+from ..stochastic.signal import SignalStats
+from .cache import StatsCache
+
+__all__ = [
+    "InputStatsEdit",
+    "EcoEdit",
+    "WhatIf",
+    "resolve_edit",
+    "resolve_edit_script",
+    "script_edit_label",
+]
+
+
+@dataclass(frozen=True)
+class InputStatsEdit:
+    """Replace one primary input's (P, D) — a stimulus-side ECO."""
+
+    net: str
+    stats: SignalStats
+
+
+#: Everything :meth:`WhatIf.apply` and the eco CLI accept.
+EcoEdit = Union[SetConfig, SetTemplate, InputStatsEdit]
+
+
+class WhatIf:
+    """Trial-apply edits against a cache; roll back unless committed.
+
+    ::
+
+        with WhatIf(cache) as trial:
+            trial.apply(SetConfig("g3", config))
+            if trial.delta_power() < 0.0:
+                trial.commit()
+        # not committed -> the circuit and cache are back to baseline
+    """
+
+    def __init__(self, cache: StatsCache):
+        self.cache = cache
+        self._undo: List[EcoEdit] = []
+        self._committed = False
+        self.baseline_power = cache.total_power()
+
+    # ------------------------------------------------------------------
+    def apply(self, edit: EcoEdit) -> None:
+        """Apply one edit, recording its inverse for rollback."""
+        if isinstance(edit, InputStatsEdit):
+            old = self.cache.set_input_stats(edit.net, edit.stats)
+            self._undo.append(InputStatsEdit(edit.net, old))
+        else:
+            self._undo.append(self.cache.circuit.apply_edit(edit))
+
+    def power(self) -> float:
+        """Current total modelled power (incrementally recomputed)."""
+        return self.cache.total_power()
+
+    def delta_power(self) -> float:
+        """Power change of the trial edits so far versus the baseline."""
+        return self.cache.total_power() - self.baseline_power
+
+    def commit(self) -> None:
+        """Keep the applied edits; exiting the block will not roll back."""
+        self._committed = True
+
+    def rollback(self) -> None:
+        """Undo all applied edits now (most recent first)."""
+        while self._undo:
+            edit = self._undo.pop()
+            if isinstance(edit, InputStatsEdit):
+                self.cache.set_input_stats(edit.net, edit.stats)
+            else:
+                self.cache.circuit.apply_edit(edit)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WhatIf":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self._committed:
+            self.rollback()
+
+
+# ----------------------------------------------------------------------
+# JSON edit scripts (the `repro eco` CLI)
+# ----------------------------------------------------------------------
+def resolve_edit(circuit: Circuit, entry: Mapping) -> EcoEdit:
+    """Turn one JSON script entry into an :data:`EcoEdit`."""
+    op = entry.get("op")
+    if op == "reorder":
+        gate = circuit.gate(entry["gate"])
+        index = int(entry["config"])
+        if index == -1:
+            return SetConfig(gate.name, None)
+        configurations = gate.template.configurations()
+        if not 0 <= index < len(configurations):
+            raise ValueError(
+                f"gate {gate.name} ({gate.template.name}): config index "
+                f"{index} outside 0..{len(configurations) - 1}"
+            )
+        return SetConfig(gate.name, configurations[index])
+    if op == "retemplate":
+        gate = circuit.gate(entry["gate"])
+        return SetTemplate(gate.name, entry["template"])
+    if op == "input-stats":
+        return InputStatsEdit(
+            entry["net"],
+            SignalStats(float(entry["probability"]), float(entry["density"])),
+        )
+    raise ValueError(
+        f"unknown edit op {op!r}; use 'reorder', 'retemplate' or 'input-stats'"
+    )
+
+
+def resolve_edit_script(circuit: Circuit,
+                        entries: Sequence[Mapping]) -> List[EcoEdit]:
+    """Resolve a whole JSON script (a list of entries) against a circuit."""
+    return [resolve_edit(circuit, entry) for entry in entries]
+
+
+def script_edit_label(edit: EcoEdit) -> str:
+    """Short human-readable form of an edit for reports and tables."""
+    if isinstance(edit, SetConfig):
+        suffix = "default" if edit.config is None else "reordered"
+        return f"reorder {edit.gate} ({suffix})"
+    if isinstance(edit, SetTemplate):
+        return f"retemplate {edit.gate} -> {edit.template}"
+    if isinstance(edit, InputStatsEdit):
+        return (
+            f"input-stats {edit.net} -> (P={edit.stats.probability:g}, "
+            f"D={edit.stats.density:g})"
+        )
+    return repr(edit)

@@ -28,7 +28,7 @@ from ..circuit.topology import topological_gates
 from .probability import build_global_bdds
 from .signal import SignalStats
 
-__all__ = ["propagate_stats", "local_stats", "exact_stats"]
+__all__ = ["propagate_stats", "local_stats", "local_gate_stats", "exact_stats"]
 
 _EPS = 1e-12
 
@@ -40,6 +40,26 @@ def _clamp(probability: float, density: float) -> SignalStats:
     return SignalStats(probability, density)
 
 
+def local_gate_stats(gate, net_stats: Mapping[str, SignalStats]) -> SignalStats:
+    """Output (P, D) of one gate from its fanin nets' statistics.
+
+    The gate-local kernel of :func:`local_stats`, exposed so the
+    incremental engine (:mod:`repro.incremental`) re-propagates a dirty
+    cone with bit-identical arithmetic to a from-scratch sweep.
+    """
+    compiled = gate.compiled()
+    pins = gate.template.pins
+    pin_probs = {pin: net_stats[gate.pin_nets[pin]].probability for pin in pins}
+    probability = compiled.output_tt.probability(pin_probs)
+    density = 0.0
+    for pin in pins:
+        d_in = net_stats[gate.pin_nets[pin]].density
+        if d_in:
+            diff = compiled.output_tt.boolean_difference(pin)
+            density += diff.probability(pin_probs) * d_in
+    return _clamp(probability, density)
+
+
 def local_stats(circuit: Circuit,
                 input_stats: Mapping[str, SignalStats]) -> Dict[str, SignalStats]:
     """One topological sweep with gate-local Boolean differences."""
@@ -47,17 +67,7 @@ def local_stats(circuit: Circuit,
     for net in circuit.inputs:
         stats[net] = input_stats[net]
     for gate in topological_gates(circuit):
-        compiled = gate.compiled()
-        pins = gate.template.pins
-        pin_probs = {pin: stats[gate.pin_nets[pin]].probability for pin in pins}
-        probability = compiled.output_tt.probability(pin_probs)
-        density = 0.0
-        for pin in pins:
-            d_in = stats[gate.pin_nets[pin]].density
-            if d_in:
-                diff = compiled.output_tt.boolean_difference(pin)
-                density += diff.probability(pin_probs) * d_in
-        stats[gate.output] = _clamp(probability, density)
+        stats[gate.output] = local_gate_stats(gate, stats)
     return stats
 
 

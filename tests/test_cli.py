@@ -82,6 +82,37 @@ class TestCommands:
         assert code == 0
         assert "mapped gates" in text
 
+    def test_optimize_sampled_stats_and_objective(self, tmp_path):
+        blif = tmp_path / "fa.blif"
+        blif.write_text(
+            ".model fa\n.inputs a b cin\n.outputs s\n"
+            ".names a b cin s\n100 1\n010 1\n001 1\n111 1\n.end\n"
+        )
+        code, text = run_cli(
+            "optimize", str(blif), "--stats", "sampled", "--lanes", "64",
+            "--objective", "delay-constrained", "--passes", "3",
+        )
+        assert code == 0
+        assert "stats=sampled" in text and "lanes=64" in text
+        assert "delay-constrained vs worst" in text
+
+    def test_optimize_analytic_alias(self, tmp_path):
+        blif = tmp_path / "g.blif"
+        blif.write_text(
+            ".model g\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        )
+        code, text = run_cli("optimize", str(blif), "--stats", "analytic")
+        assert code == 0
+        assert "stats=model" in text
+
+    def test_optimize_lanes_requires_sampled(self, tmp_path):
+        blif = tmp_path / "g.blif"
+        blif.write_text(
+            ".model g\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        )
+        with pytest.raises(SystemExit):
+            run_cli("optimize", str(blif), "--lanes", "64")
+
     def test_optimize_saves_netlists(self, tmp_path):
         from repro.circuit.blif import parse_mapped_blif
         from repro.circuit.verilog import parse_verilog
@@ -103,3 +134,85 @@ class TestCommands:
         circuit_v = parse_verilog(out_verilog.read_text(), library)
         assert set(circuit_b.outputs) == {"y"}
         assert len(circuit_b) == len(circuit_v)
+
+
+FA_BLIF = (
+    ".model fa\n.inputs a b cin\n.outputs s cout\n"
+    ".names a b cin s\n100 1\n010 1\n001 1\n111 1\n"
+    ".names a b cin cout\n11- 1\n1-1 1\n-11 1\n.end\n"
+)
+
+
+class TestEco:
+    def write_inputs(self, tmp_path, script):
+        import json
+
+        blif = tmp_path / "fa.blif"
+        blif.write_text(FA_BLIF)
+        script_path = tmp_path / "edits.json"
+        script_path.write_text(json.dumps(script))
+        return str(blif), str(script_path)
+
+    def test_eco_reports_per_edit_deltas(self, tmp_path):
+        import json
+
+        blif, script = self.write_inputs(tmp_path, [
+            {"op": "reorder", "gate": "g0", "config": 1},
+            {"op": "input-stats", "net": "a", "probability": 0.3,
+             "density": 2.0e5},
+            {"op": "reorder", "gate": "g0", "config": -1},
+        ])
+        out_path = tmp_path / "eco.json"
+        code, text = run_cli("eco", blif, script, "--out", str(out_path))
+        assert code == 0
+        assert "eco - fa" in text
+        assert "input-stats a" in text
+        assert "3 edits" in text
+        artifact = json.loads(out_path.read_text())
+        assert artifact["eco"]["backend"] == "analytic"
+        assert len(artifact["results"]) == 3
+        rows = artifact["results"]
+        # consecutive rows chain: power_after of row k = power_before of k+1
+        for before, after in zip(rows, rows[1:]):
+            assert after["power_before"] == before["power_after"]
+        # the incremental engine must touch fewer gates than from-scratch
+        assert all(0 < r["cone"] <= artifact["eco"]["gates"] for r in rows)
+
+    def test_eco_sampled_backend(self, tmp_path):
+        blif, script = self.write_inputs(tmp_path, [
+            {"op": "reorder", "gate": "g1", "config": 0},
+        ])
+        code, text = run_cli("eco", blif, script, "--backend", "sampled",
+                             "--lanes", "64")
+        assert code == 0
+        assert "backend=sampled" in text
+
+    def test_eco_sampled_dt_too_coarse_has_clean_error_and_remedy(self, tmp_path):
+        # An input-stats edit far above the initial densities shrinks the
+        # dwell times below the backend's frozen default dt.
+        blif, script = self.write_inputs(tmp_path, [
+            {"op": "input-stats", "net": "a", "probability": 0.5,
+             "density": 1.0e9},
+        ])
+        with pytest.raises(SystemExit, match="--dt"):
+            run_cli("eco", blif, script, "--backend", "sampled",
+                    "--lanes", "16", "--steps", "8")
+        code, text = run_cli("eco", blif, script, "--backend", "sampled",
+                             "--lanes", "16", "--steps", "8", "--dt", "1e-10")
+        assert code == 0
+        assert "1 edits" in text
+
+    def test_eco_rejects_non_list_script(self, tmp_path):
+        import json
+
+        blif = tmp_path / "fa.blif"
+        blif.write_text(FA_BLIF)
+        script_path = tmp_path / "edits.json"
+        script_path.write_text(json.dumps({"op": "reorder"}))
+        with pytest.raises(SystemExit):
+            run_cli("eco", str(blif), str(script_path))
+
+    def test_eco_lanes_requires_sampled(self, tmp_path):
+        blif, script = self.write_inputs(tmp_path, [])
+        with pytest.raises(SystemExit):
+            run_cli("eco", blif, script, "--lanes", "64")
