@@ -162,6 +162,24 @@ class Circuit:
         """The gate driving ``net`` (``None`` for primary inputs)."""
         return self._driver.get(net)
 
+    def fanin_drivers(self, gate_name: str) -> Tuple[GateInstance, ...]:
+        """Unique gates driving ``gate_name``'s fanin nets, in pin order.
+
+        These are exactly the gates whose external load changes when
+        ``gate_name`` is edited (a new compiled form can change its pin
+        capacitances) — the worklist seed of the cone-aware
+        re-optimisation passes and the incremental power dirty set.
+        """
+        gate = self.gate(gate_name)
+        drivers: List[GateInstance] = []
+        seen = set()
+        for net in gate.fanin_nets:
+            pred = self._driver.get(net)
+            if pred is not None and pred.name not in seen:
+                seen.add(pred.name)
+                drivers.append(pred)
+        return tuple(drivers)
+
     def nets(self) -> Tuple[str, ...]:
         """All nets: primary inputs then gate outputs, in creation order."""
         return tuple(self.inputs) + tuple(g.output for g in self._gates.values())

@@ -10,6 +10,8 @@ Subcommands::
     optimize FILE.blif     map + optimise a BLIF circuit, report savings
     eco FILE.blif SCRIPT   replay a JSON edit script incrementally,
                            reporting per-edit delta power/delay
+    search FILE.blif       delta-driven ECO local search (greedy or
+                           annealing) over the incremental engine
 """
 
 from __future__ import annotations
@@ -119,6 +121,44 @@ def build_parser() -> argparse.ArgumentParser:
                          "the initial ones)")
     pe.add_argument("--out", metavar="PATH",
                     help="write the JSON result artifact here")
+
+    ps = sub.add_parser(
+        "search",
+        help="delta-driven ECO local search over the incremental engine",
+    )
+    ps.add_argument("blif", help="path to a combinational BLIF file")
+    ps.add_argument("--scenario", choices=["A", "B"], default="A")
+    ps.add_argument("--seed", type=int, default=0,
+                    help="stimulus seed, also the annealing RNG seed")
+    ps.add_argument("--strategy", choices=["greedy", "anneal"],
+                    default="greedy")
+    ps.add_argument("--objective", choices=["power", "delay", "power-delay"],
+                    default="power")
+    ps.add_argument("--delay-weight", type=float, default=None,
+                    help="delay weight for --objective power-delay "
+                         "(power gets 1 - w; default 0.5)")
+    ps.add_argument("--backend", choices=["analytic", "sampled"],
+                    default="analytic")
+    ps.add_argument("--lanes", type=_positive_int, default=None,
+                    help="sample lanes for --backend sampled")
+    ps.add_argument("--steps", type=_positive_int, default=None,
+                    help="time steps for --backend sampled")
+    ps.add_argument("--retemplate", action="store_true",
+                    help="also search same-pin-tuple cell swaps "
+                         "(changes the logic function)")
+    ps.add_argument("--max-trials", type=_positive_int, default=None,
+                    help="cap on candidate-move evaluations")
+    ps.add_argument("--max-moves", type=_positive_int, default=None,
+                    help="cap on accepted moves")
+    ps.add_argument("--anneal-trials", type=_positive_int, default=None,
+                    help="annealing schedule length "
+                         "(default: 32 x movable gates)")
+    ps.add_argument("--polish", action="store_true",
+                    help="greedy descent after annealing")
+    ps.add_argument("--out", metavar="PATH",
+                    help="write the canonical JSON search artifact here")
+    ps.add_argument("--save-blif", metavar="PATH",
+                    help="write the searched netlist as mapped BLIF")
     return parser
 
 
@@ -378,6 +418,81 @@ def _cmd_eco(out, path: str, script_path: str, scenario: str, seed: int,
     return 0
 
 
+def _cmd_search(out, args) -> int:
+    from .analysis.experiments import run_search
+    from .bench.runner import write_artifact
+    from .circuit.blif import load_blif, write_mapped_blif
+    from .sim.stimulus import ScenarioA, ScenarioB
+    from .synth.mapper import map_circuit
+
+    if args.delay_weight is not None:
+        if args.objective != "power-delay":
+            raise SystemExit("--delay-weight requires --objective power-delay")
+        if not 0.0 < args.delay_weight < 1.0:
+            raise SystemExit("--delay-weight must lie strictly between 0 and 1")
+    backend_kwargs = {}
+    if args.backend == "sampled":
+        # search_circuit forwards its seed= into the sampled backend
+        for name, value in (("lanes", args.lanes), ("steps", args.steps)):
+            if value is not None:
+                backend_kwargs[name] = value
+    else:
+        given = [n for n, v in (("--lanes", args.lanes), ("--steps", args.steps))
+                 if v is not None]
+        if given:
+            raise SystemExit(f"{', '.join(given)} requires --backend sampled")
+
+    network = load_blif(args.blif)
+    circuit = map_circuit(network)
+    generator = (ScenarioA(seed=args.seed) if args.scenario == "A"
+                 else ScenarioB(seed=args.seed))
+    stats = generator.input_stats(circuit.inputs)
+    result = run_search(
+        circuit, stats,
+        strategy=args.strategy, objective=args.objective,
+        delay_weight=args.delay_weight, backend=args.backend,
+        seed=args.seed, retemplate=args.retemplate,
+        max_trials=args.max_trials, max_moves=args.max_moves,
+        anneal_trials=args.anneal_trials, polish=args.polish,
+        **backend_kwargs,
+    )
+
+    table = [
+        (move.index, move.label, move.cone,
+         format_si(move.delta_power, "W"), format_si(move.power_after, "W"))
+        for move in result.accepted
+    ]
+    out.write(format_table(
+        ("#", "move", "cone", "dP", "P after"), table,
+        title=f"search - {network.name} ({len(circuit)} gates, "
+              f"{args.strategy}/{result.objective.name}, "
+              f"backend={args.backend})",
+    ))
+    out.write("\n")
+    out.write(f"accepted {len(result.accepted)} of {result.trials} trialled "
+              f"moves in {result.rounds} round(s)"
+              + (" [budget exhausted]" if result.budget_exhausted else "")
+              + "\n")
+    out.write(f"power  : {format_si(result.power_before, 'W')} -> "
+              f"{format_si(result.power_after, 'W')} "
+              f"({format_percent(result.reduction)}% reduction)\n")
+    delay_change = ((result.delay_after - result.delay_before)
+                    / result.delay_before if result.delay_before else 0.0)
+    out.write(f"delay  : {format_si(result.delay_before, 's')} -> "
+              f"{format_si(result.delay_after, 's')} "
+              f"({format_percent(delay_change)}%)\n")
+    out.write(f"re-propagated {result.gates_repropagated} gate stats vs "
+              f"{result.trials * len(circuit)} for full rescoring per trial\n")
+    if args.out:
+        write_artifact(result.to_artifact({"scenario": args.scenario}), args.out)
+        out.write(f"wrote JSON artifact to {args.out}\n")
+    if args.save_blif:
+        with open(args.save_blif, "w") as handle:
+            handle.write(write_mapped_blif(result.circuit))
+        out.write(f"wrote mapped BLIF to {args.save_blif}\n")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -400,6 +515,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "eco":
         return _cmd_eco(out, args.blif, args.script, args.scenario, args.seed,
                         args.backend, args.lanes, args.steps, args.dt, args.out)
+    if args.command == "search":
+        return _cmd_search(out, args)
     raise AssertionError("unreachable")
 
 

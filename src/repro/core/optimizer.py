@@ -101,6 +101,11 @@ class OptimizeResult:
     """Traversals actually executed (< the requested ``passes`` when the
     configuration assignment reached a fixed point early)."""
 
+    gates_decided: int = 0
+    """Per-gate decisions evaluated across all passes.  Pass 1 decides
+    every gate; later (cone-aware) passes re-decide only the worklist,
+    so with ``passes > 1`` this stays far below ``passes * len(circuit)``."""
+
     @property
     def reduction(self) -> float:
         """Fractional power reduction relative to the input circuit."""
@@ -155,10 +160,20 @@ def optimize_circuit(
     early at a fixed point.  The paper's single pass is per-gate
     optimal *under the model*, but a gate's external load depends on
     its sinks' pin capacitances — which the same pass may still change
-    after the gate was decided.  Later passes re-decide every gate
-    against the loads the previous pass settled on; the reported
+    after the gate was decided.  Later passes are **cone-aware**: a
+    gate's decision inputs are its fanin statistics (invariant across
+    passes — reordering never changes a net's (P, D), and the
+    non-model sources are precomputed once) and its external load, so
+    instead of re-traversing the whole circuit each pass, later passes
+    re-decide exactly the worklist of gates whose settled sink loads
+    the previous pass actually changed: the fanin drivers of every
+    re-configured gate.  This reaches the same fixed point as full
+    re-traversal (a gate with unchanged decision inputs re-decides
+    identically) in cone-sized work per pass
+    (``OptimizeResult.gates_decided`` counts the total).  The reported
     ``power_before`` always refers to the input circuit and
-    ``power_after`` to the final pass.
+    ``power_after`` to the settled configuration under its settled
+    loads.
     """
     if objective not in OBJECTIVES:
         raise ValueError(f"unknown objective {objective!r}; choose from {OBJECTIVES}")
@@ -188,72 +203,146 @@ def optimize_circuit(
 
     power_before: Optional[float] = None
     power_after = 0.0
-    decisions: List[GateDecision] = []
     net_stats: Dict[str, SignalStats] = {}
     passes_run = 0
+    gates_decided = 0
+    any_changed = False
+    topo = topological_gates(result_circuit)
+    decisions_by_gate: Dict[str, GateDecision] = {}
+    #: Gates to re-decide next pass; ``None`` = full traversal (pass 1).
+    pending: Optional[set] = None
 
     for _ in range(passes):
         passes_run += 1
-        changed = False
-        decisions = []
-        pass_power_before = 0.0
-        power_after = 0.0
-        net_stats = (
-            dict(precomputed) if precomputed is not None
-            else {n: input_stats[n] for n in circuit.inputs}
-        )
+        changed_gates: set = set()
 
-        for gate in topological_gates(result_circuit):
-            template = gate.template
-            pin_stats = _pin_stats(gate, net_stats)
-            load = result_circuit.output_load(gate.output, model.tech, po_load)
-            evaluations = evaluate_configurations(template, pin_stats, model, load)
-            by_key = {e.config.key(): e for e in evaluations}
-
-            entry_key = gate.effective_config().key()
-            original_eval = by_key[entry_key]
-            default_eval = by_key[template.default_config().key()]
-
-            candidates = evaluations
-            if objective == "delay-constrained":
-                candidates = _delay_feasible(
-                    gate, evaluations, default_eval, model.tech, load
-                )
-            if objective == "worst":
-                chosen = min(candidates, key=lambda e: (-e.power, e.config.key()))
-            elif objective == "fastest":
-                chosen = min(
-                    candidates,
-                    key=lambda e: (
-                        gate_worst_delay(
-                            template.compile_config(e.config), e.config,
-                            model.tech, load,
-                        ),
-                        e.config.key(),
-                    ),
-                )
-            else:
-                chosen = min(candidates, key=lambda e: (e.power, e.config.key()))
-
-            if chosen.config.key() != entry_key:
-                changed = True
-            gate.config = chosen.config
-            decisions.append(
-                GateDecision(gate.name, template.name, len(evaluations),
-                             chosen, default_eval.power)
+        if pending is None:
+            # Pass 1 — the paper's full traversal, propagating net_stats
+            # along the way in the "model" flow.
+            pass_power_before = 0.0
+            power_after = 0.0
+            net_stats = (
+                dict(precomputed) if precomputed is not None
+                else {n: input_stats[n] for n in circuit.inputs}
             )
-            pass_power_before += original_eval.power
-            power_after += chosen.power
-            if precomputed is None:
-                net_stats[gate.output] = model.output_stats(gate.compiled(), pin_stats)
+            for gate in topo:
+                pin_stats = _pin_stats(gate, net_stats)
+                load = result_circuit.output_load(gate.output, model.tech, po_load)
+                evaluations = evaluate_configurations(
+                    gate.template, pin_stats, model, load
+                )
+                gates_decided += 1
+                by_key = {e.config.key(): e for e in evaluations}
+                entry_key = gate.effective_config().key()
+                original_eval = by_key[entry_key]
+                default_eval = by_key[gate.template.default_config().key()]
+                chosen = _choose(objective, gate, evaluations, default_eval,
+                                 model, load)
+                if chosen.config.key() != entry_key:
+                    changed_gates.add(gate.name)
+                gate.config = chosen.config
+                decisions_by_gate[gate.name] = GateDecision(
+                    gate.name, gate.template.name, len(evaluations),
+                    chosen, default_eval.power
+                )
+                pass_power_before += original_eval.power
+                power_after += chosen.power
+                if precomputed is None:
+                    net_stats[gate.output] = model.output_stats(
+                        gate.compiled(), pin_stats
+                    )
+            if power_before is None:
+                power_before = pass_power_before
+        else:
+            # Cone-aware pass: statistics are pass-invariant, so only
+            # the worklist — gates whose external load the previous
+            # pass changed — can decide differently.  Topological
+            # order and live loads reproduce exactly what a full
+            # re-traversal would decide (a gate's sinks come later in
+            # topological order, so its load still reflects the
+            # previous pass when it is re-decided).
+            for gate in topo:
+                if gate.name not in pending:
+                    continue
+                pin_stats = _pin_stats(gate, net_stats)
+                load = result_circuit.output_load(gate.output, model.tech, po_load)
+                evaluations = evaluate_configurations(
+                    gate.template, pin_stats, model, load
+                )
+                gates_decided += 1
+                by_key = {e.config.key(): e for e in evaluations}
+                entry_key = gate.effective_config().key()
+                default_eval = by_key[gate.template.default_config().key()]
+                chosen = _choose(objective, gate, evaluations, default_eval,
+                                 model, load)
+                if chosen.config.key() != entry_key:
+                    changed_gates.add(gate.name)
+                    gate.config = chosen.config
+                decisions_by_gate[gate.name] = GateDecision(
+                    gate.name, gate.template.name, len(evaluations),
+                    chosen, default_eval.power
+                )
 
-        if power_before is None:
-            power_before = pass_power_before
-        if not changed:
+        if not changed_gates:
+            break
+        any_changed = True
+        # The next worklist: a re-configured gate changes only its own
+        # pin capacitances — the load its fanin drivers see.
+        pending = set()
+        for name in changed_gates:
+            for pred in result_circuit.fanin_drivers(name):
+                if pred.template.num_configurations() > 1:
+                    pending.add(pred.name)
+        if not pending:
             break
 
+    if passes > 1 and any_changed:
+        # Settled-load accounting: per-gate decision powers were priced
+        # against loads that later decisions may have changed; one
+        # cheap sweep (no enumeration) reprices the final configuration
+        # consistently.  Matches a converged full pass bit-for-bit.
+        power_after = 0.0
+        for gate in topo:
+            report = model.gate_power(
+                gate.compiled(), _pin_stats(gate, net_stats),
+                result_circuit.output_load(gate.output, model.tech, po_load),
+            )
+            power_after += report.total
+
+    decisions = [decisions_by_gate[g.name] for g in topo]
     return OptimizeResult(result_circuit, net_stats, decisions,
-                          power_before, power_after, passes_run)
+                          power_before, power_after, passes_run, gates_decided)
+
+
+def _choose(
+    objective: str,
+    gate: GateInstance,
+    evaluations: List[ConfigEvaluation],
+    default_eval: ConfigEvaluation,
+    model: GatePowerModel,
+    load: float,
+) -> ConfigEvaluation:
+    """Pick one configuration under ``objective`` (deterministic ties)."""
+    template = gate.template
+    candidates = evaluations
+    if objective == "delay-constrained":
+        candidates = _delay_feasible(
+            gate, evaluations, default_eval, model.tech, load
+        )
+    if objective == "worst":
+        return min(candidates, key=lambda e: (-e.power, e.config.key()))
+    if objective == "fastest":
+        return min(
+            candidates,
+            key=lambda e: (
+                gate_worst_delay(
+                    template.compile_config(e.config), e.config,
+                    model.tech, load,
+                ),
+                e.config.key(),
+            ),
+        )
+    return min(candidates, key=lambda e: (e.power, e.config.key()))
 
 
 def _delay_feasible(

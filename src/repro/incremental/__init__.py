@@ -16,6 +16,15 @@ the backend contract, and :class:`WhatIf` for trial-apply/rollback.
 from .backends import AnalyticBackend, SampledBackend, StatsBackend, make_backend
 from .cache import StatsCache
 from .eco import InputStatsEdit, WhatIf, resolve_edit, script_edit_label
+from .search import (
+    AcceptedMove,
+    Move,
+    Objective,
+    SearchResult,
+    enumerate_moves,
+    make_objective,
+    search_circuit,
+)
 
 __all__ = [
     "StatsBackend",
@@ -27,4 +36,11 @@ __all__ = [
     "InputStatsEdit",
     "resolve_edit",
     "script_edit_label",
+    "Objective",
+    "make_objective",
+    "Move",
+    "AcceptedMove",
+    "SearchResult",
+    "enumerate_moves",
+    "search_circuit",
 ]

@@ -73,8 +73,22 @@ class StatsCache:
         #: is not counted.
         self.gates_repropagated = 0
         self.refresh_count = 0
+        #: Open :class:`~repro.incremental.eco.WhatIf` trials on this
+        #: cache, innermost last; WhatIf uses it to enforce LIFO
+        #: unwinding and to hand committed inner undo logs outward.
+        self.trial_stack: list = []
         circuit.add_edit_listener(self._on_edit)
         self._subscribed = True
+
+    @property
+    def topo_index(self) -> Mapping[str, int]:
+        """Gate name -> topological position (treat as read-only).
+
+        The supported edits never change connectivity, so this map is
+        valid for the cache's whole lifetime; the search engine sorts
+        its worklists with it instead of re-levelising the circuit.
+        """
+        return self._topo_index
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -85,11 +99,8 @@ class StatsCache:
         self._power_dirty |= cone
         # The edited gate's compiled form changed, so its pin
         # capacitances — the load its fanin drivers see — may have too.
-        gate = self.circuit.gate(gate_name)
-        for net in gate.fanin_nets:
-            pred = self.circuit.driver(net)
-            if pred is not None:
-                self._power_dirty.add(pred.name)
+        for pred in self.circuit.fanin_drivers(gate_name):
+            self._power_dirty.add(pred.name)
 
     def set_input_stats(self, net: str, stats: SignalStats) -> SignalStats:
         """Edit one primary input's statistics; returns the old value."""

@@ -60,12 +60,24 @@ class WhatIf:
             if trial.delta_power() < 0.0:
                 trial.commit()
         # not committed -> the circuit and cache are back to baseline
+
+    Exception safety: a trial body that raises is **aborted** — the
+    rollback runs even after :meth:`commit` was called, so no partial
+    trial ever leaks into the circuit.
+
+    Trials nest: an inner ``WhatIf`` on the same cache stacks on top of
+    the outer one and must unwind in LIFO order (exiting the outer
+    context while an inner trial is still open raises, before any
+    out-of-order rollback can corrupt the circuit).  Committing an
+    inner trial hands its undo log to the enclosing trial, so rolling
+    the outer trial back still undoes the inner edits.
     """
 
     def __init__(self, cache: StatsCache):
         self.cache = cache
         self._undo: List[EcoEdit] = []
         self._committed = False
+        self._entered = False
         self.baseline_power = cache.total_power()
 
     # ------------------------------------------------------------------
@@ -100,11 +112,35 @@ class WhatIf:
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "WhatIf":
+        self._entered = True
+        self.cache.trial_stack.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if not self._committed:
+        stack = self.cache.trial_stack
+        if self._entered:
+            if not stack or stack[-1] is not self:
+                # Out-of-order unwinding: rolling back now would replay
+                # inverses over an inner trial's live edits and corrupt
+                # the circuit.  Refuse loudly instead.
+                raise RuntimeError(
+                    "nested WhatIf contexts must unwind in LIFO order "
+                    "(an inner trial on this cache is still open)"
+                )
+            stack.pop()
+            self._entered = False
+        if exc_type is not None:
+            # The trial body raised: abort, even after commit() — a
+            # partially executed trial must never leak into the circuit.
             self.rollback()
+        elif not self._committed:
+            self.rollback()
+        elif stack:
+            # Inner commit under an open outer trial: "keep" is relative
+            # to the enclosing trial, which inherits the undo log so its
+            # own rollback still restores the true baseline.
+            stack[-1]._undo.extend(self._undo)
+            self._undo.clear()
 
 
 # ----------------------------------------------------------------------

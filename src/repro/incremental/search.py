@@ -1,0 +1,646 @@
+"""Delta-driven ECO search: incremental local search over what-if trials.
+
+The paper frames low-power transistor reordering as a cost-driven
+search over local transformations; :func:`search_circuit` is that
+search, run on top of the incremental substrate instead of full
+recomputes.  Every candidate move is priced by trial-applying it to a
+live :class:`~repro.incremental.cache.StatsCache` through
+:class:`~repro.incremental.eco.WhatIf` — cone-sized re-propagation,
+then rollback — so scoring a move costs the edited gate's fanout cone,
+not the whole circuit (``benchmarks/bench_eco_search.py`` holds this
+to a >= 10x floor against naive full-circuit rescoring).
+
+Two strategies, both deterministic for a given ``seed``:
+
+``"greedy"``  steepest descent to a fixed point: per gate, trial every
+              candidate move (batched in one :class:`WhatIf` so
+              same-gate candidates overwrite each other and the cone
+              is re-propagated once per candidate instead of twice),
+              accept the best improving one, and re-enqueue exactly
+              the gates whose decision context the acceptance changed:
+              the accepted gate's fanin drivers (their load changed)
+              and, for template swaps, its fanout cone (their input
+              statistics changed).
+``"anneal"``  simulated annealing with a geometric temperature
+              schedule.  The RNG comes from the same CRC-stable
+              substream scheme as the samplers
+              (:func:`repro.sim.bitsim.stream_rng`, seeded by
+              ``(seed, crc32(label))``) — never a default-seeded
+              ``random.Random`` — so the accepted-move trace is
+              byte-stable across runs and processes.
+
+Moves are gate-local: ``reorder`` (every other configuration of the
+gate's template) and, opt-in, ``retemplate`` (same-pin-tuple library
+cells; these change the logic function, so they stay off unless the
+caller explicitly asks for a re-synthesis-style search).
+
+Objectives are weighted, baseline-normalised power/delay scores.  The
+pure power objective never runs STA inside the trial loop (delay is
+tracked per *accepted* move only); delay-bearing objectives pay a full
+STA per candidate (incremental timing is a ROADMAP item).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..circuit.netlist import Circuit, SetConfig, SetTemplate
+from ..core.power_model import GatePowerModel
+from ..sim.bitsim import stream_rng
+from ..stochastic.signal import SignalStats
+from ..timing.sta import DEFAULT_PO_LOAD, circuit_delay
+from .cache import StatsCache
+from .eco import WhatIf, script_edit_label
+
+__all__ = [
+    "STRATEGIES",
+    "SEARCH_OBJECTIVES",
+    "Objective",
+    "make_objective",
+    "Move",
+    "AcceptedMove",
+    "SearchResult",
+    "swap_groups",
+    "enumerate_moves",
+    "search_circuit",
+]
+
+STRATEGIES = ("greedy", "anneal")
+SEARCH_OBJECTIVES = ("power", "delay", "power-delay")
+
+#: Accept only strictly improving greedy moves beyond this score margin
+#: (scores are baseline-normalised, so this is a relative threshold);
+#: keeps float noise from producing accept/undo churn.
+_TOL = 1e-12
+
+
+# ----------------------------------------------------------------------
+# Objectives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Objective:
+    """Weighted power/delay cost, normalised by the baseline values.
+
+    ``score = power_weight * P/P0 + delay_weight * D/D0`` — the
+    baseline circuit scores exactly ``power_weight + delay_weight``,
+    so deltas are comparable across circuits and units.
+    """
+
+    name: str
+    power_weight: float = 1.0
+    delay_weight: float = 0.0
+
+    def __post_init__(self):
+        if self.power_weight < 0.0 or self.delay_weight < 0.0:
+            raise ValueError("objective weights must be non-negative")
+        if self.power_weight == 0.0 and self.delay_weight == 0.0:
+            raise ValueError("objective needs at least one non-zero weight")
+
+    @property
+    def needs_delay(self) -> bool:
+        """Whether scoring a trial requires an STA run."""
+        return self.delay_weight != 0.0
+
+    def score(self, power: float, delay: float,
+              power0: float, delay0: float) -> float:
+        value = 0.0
+        if self.power_weight:
+            value += self.power_weight * (power / power0 if power0 else power)
+        if self.delay_weight:
+            value += self.delay_weight * (delay / delay0 if delay0 else delay)
+        return value
+
+
+def make_objective(objective: Union[str, Objective],
+                   delay_weight: Optional[float] = None) -> Objective:
+    """Resolve an objective name (or pass an :class:`Objective` through).
+
+    ``"power"`` and ``"delay"`` are single-term; ``"power-delay"`` is
+    the weighted product objective with ``delay_weight`` (default 0.5)
+    against ``1 - delay_weight`` on power.
+    """
+    if isinstance(objective, Objective):
+        if delay_weight is not None:
+            raise TypeError("delay_weight conflicts with an Objective instance")
+        return objective
+    if objective == "power":
+        if delay_weight is not None:
+            raise ValueError("delay_weight requires the 'power-delay' objective")
+        return Objective("power", 1.0, 0.0)
+    if objective == "delay":
+        if delay_weight is not None:
+            raise ValueError("delay_weight requires the 'power-delay' objective")
+        return Objective("delay", 0.0, 1.0)
+    if objective == "power-delay":
+        weight = 0.5 if delay_weight is None else float(delay_weight)
+        if not 0.0 < weight < 1.0:
+            raise ValueError("delay_weight must lie strictly between 0 and 1")
+        return Objective("power-delay", 1.0 - weight, weight)
+    raise ValueError(
+        f"unknown objective {objective!r}; choose from {SEARCH_OBJECTIVES}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Move enumeration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Move:
+    """One candidate local transformation of one gate."""
+
+    gate: str
+    kind: str  # "reorder" | "retemplate"
+    edit: Union[SetConfig, SetTemplate]
+
+    def script_entry(self, circuit: Circuit) -> Dict[str, object]:
+        """The ``repro eco`` JSON vocabulary form of this move."""
+        if isinstance(self.edit, SetConfig):
+            if self.edit.config is None:
+                index = -1
+            else:
+                key = self.edit.config.key()
+                configurations = circuit.gate(self.gate).template.configurations()
+                index = next(
+                    i for i, c in enumerate(configurations) if c.key() == key
+                )
+            return {"op": "reorder", "gate": self.gate, "config": index}
+        return {"op": "retemplate", "gate": self.gate,
+                "template": self.edit.template}
+
+
+def swap_groups(circuit: Circuit) -> Dict[Tuple[str, ...], List[str]]:
+    """Same-pin-tuple template groups of the circuit's library.
+
+    Positional rebinding keeps any same-arity swap structurally valid;
+    restricting to identical pin tuples keeps the candidate set the
+    realistic one (the grouping the edit-equivalence property tests
+    use).  Only groups with at least two members are returned.
+    """
+    groups: Dict[Tuple[str, ...], List[str]] = {}
+    for template in circuit.library:
+        groups.setdefault(template.pins, []).append(template.name)
+    return {pins: names for pins, names in groups.items() if len(names) > 1}
+
+
+def enumerate_moves(circuit: Circuit, gate_name: str,
+                    retemplate: bool = False,
+                    groups: Optional[Mapping[Tuple[str, ...], Sequence[str]]] = None,
+                    ) -> List[Move]:
+    """Candidate moves for one gate, in deterministic order.
+
+    Reorder moves (every configuration other than the current one)
+    come first; retemplate moves (same-pin-tuple cells, only with
+    ``retemplate=True``) follow.  The split matters to the batched
+    trial loop: all reorder candidates share the gate's current
+    template, so they may overwrite each other inside one
+    :class:`WhatIf`, but never after a template swap.
+    """
+    gate = circuit.gate(gate_name)
+    current = gate.effective_config().key()
+    moves = [
+        Move(gate_name, "reorder", SetConfig(gate_name, config))
+        for config in gate.template.configurations()
+        if config.key() != current
+    ]
+    if retemplate:
+        if groups is None:
+            groups = swap_groups(circuit)
+        for name in groups.get(gate.template.pins, ()):
+            if name != gate.template.name:
+                moves.append(
+                    Move(gate_name, "retemplate", SetTemplate(gate_name, name))
+                )
+    return moves
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AcceptedMove:
+    """One committed move of the search trace."""
+
+    index: int
+    """Acceptance order (0-based)."""
+
+    trial: int
+    """Candidate evaluations performed when this move was accepted."""
+
+    gate: str
+    kind: str
+    label: str
+    entry: Dict[str, object]
+    """The move in the ``repro eco`` JSON vocabulary (replayable)."""
+
+    delta_power: float
+    delta_delay: float
+    power_after: float
+    delay_after: float
+    cone: int
+    """Gates re-propagated to commit this move (dirty-cone work)."""
+
+    temperature: float
+    """Annealing temperature at acceptance (0.0 under greedy descent)."""
+
+
+@dataclass
+class SearchResult:
+    """The searched circuit plus the full bookkeeping of how it got there."""
+
+    circuit: Circuit
+    accepted: List[AcceptedMove]
+    net_stats: Dict[str, SignalStats]
+    power_before: float
+    power_after: float
+    delay_before: float
+    delay_after: float
+    trials: int
+    """Candidate moves evaluated (trial-applied and scored)."""
+
+    rounds: int
+    gates_repropagated: int
+    """Total gate stat re-propagations the cache performed for the search."""
+
+    strategy: str
+    objective: Objective
+    seed: int
+    backend: str
+    budget_exhausted: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def reduction(self) -> float:
+        if self.power_before <= 0.0:
+            return 0.0
+        return 1.0 - self.power_after / self.power_before
+
+    def eco_script(self) -> List[Dict[str, object]]:
+        """The accepted moves as a replayable ``repro eco`` JSON script."""
+        return [dict(move.entry) for move in self.accepted]
+
+    def to_artifact(self, meta: Optional[Mapping[str, object]] = None
+                    ) -> Dict[str, object]:
+        """Canonical JSON artifact (``repro bench`` schema conventions).
+
+        Deterministic for a fixed seed: every field other than
+        ``elapsed_s`` (stripped by
+        :func:`repro.bench.runner.strip_timing`) is a pure function of
+        the inputs, so repeated runs are byte-identical after
+        :func:`repro.bench.runner.dumps_artifact`.
+        """
+        from ..bench.runner import SCHEMA_VERSION
+
+        search: Dict[str, object] = {
+            "circuit": self.circuit.name,
+            "gates": len(self.circuit),
+            "strategy": self.strategy,
+            "objective": {
+                "name": self.objective.name,
+                "power_weight": self.objective.power_weight,
+                "delay_weight": self.objective.delay_weight,
+            },
+            "seed": self.seed,
+            "backend": self.backend,
+        }
+        if meta:
+            search.update(meta)
+        return {
+            "schema": SCHEMA_VERSION,
+            "search": search,
+            "baseline": {"power": self.power_before, "delay": self.delay_before},
+            "final": {
+                "power": self.power_after,
+                "delay": self.delay_after,
+                "reduction": self.reduction,
+            },
+            "trials": self.trials,
+            "rounds": self.rounds,
+            "accepted_count": len(self.accepted),
+            "gates_repropagated": self.gates_repropagated,
+            "budget_exhausted": self.budget_exhausted,
+            "elapsed_s": self.elapsed_s,
+            "moves": [
+                {
+                    "index": move.index,
+                    "trial": move.trial,
+                    "gate": move.gate,
+                    "kind": move.kind,
+                    "label": move.label,
+                    "edit": move.entry,
+                    "delta_power": move.delta_power,
+                    "delta_delay": move.delta_delay,
+                    "power_after": move.power_after,
+                    "delay_after": move.delay_after,
+                    "cone": move.cone,
+                    "temperature": move.temperature,
+                }
+                for move in self.accepted
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class _Search:
+    """Shared trial/accept machinery of both strategies."""
+
+    def __init__(self, cache: StatsCache, objective: Objective,
+                 retemplate: bool, max_trials: Optional[int],
+                 max_moves: Optional[int]):
+        self.cache = cache
+        self.circuit = cache.circuit
+        self.objective = objective
+        self.retemplate = retemplate
+        self.groups = swap_groups(self.circuit) if retemplate else {}
+        self.max_trials = max_trials
+        self.max_moves = max_moves
+        self.trials = 0
+        self.accepted: List[AcceptedMove] = []
+        self.budget_exhausted = False
+        self.power = cache.total_power()
+        self.delay = circuit_delay(self.circuit, cache.model.tech, cache.po_load)
+        self.power0 = self.power
+        self.delay0 = self.delay
+        self.score = objective.score(self.power, self.delay,
+                                     self.power0, self.delay0)
+
+    # -- budget -------------------------------------------------------
+    def out_of_budget(self) -> bool:
+        if self.max_trials is not None and self.trials >= self.max_trials:
+            self.budget_exhausted = True
+        if self.max_moves is not None and len(self.accepted) >= self.max_moves:
+            self.budget_exhausted = True
+        return self.budget_exhausted
+
+    # -- scoring ------------------------------------------------------
+    def trial_delay(self) -> float:
+        """Delay of the current (trial) circuit state; STA only if scored."""
+        if not self.objective.needs_delay:
+            return self.delay
+        return circuit_delay(self.circuit, self.cache.model.tech,
+                             self.cache.po_load)
+
+    def score_batch(self, moves: Sequence[Move]) -> List[Tuple[float, float, float]]:
+        """Trial every move of one gate in a single rolled-back WhatIf.
+
+        All moves target the same gate, so each apply overwrites the
+        previous candidate and the circuit state always equals
+        "baseline plus exactly this candidate" — one cone
+        re-propagation per candidate instead of an apply/rollback pair.
+        Returns ``(score, power, delay)`` per move.
+        """
+        scored = []
+        with WhatIf(self.cache) as trial:
+            for move in moves:
+                trial.apply(move.edit)
+                power = trial.power()
+                delay = self.trial_delay()
+                self.trials += 1
+                scored.append(
+                    (self.objective.score(power, delay, self.power0, self.delay0),
+                     power, delay)
+                )
+        return scored
+
+    # -- acceptance ---------------------------------------------------
+    def accept(self, move: Move, temperature: float = 0.0) -> None:
+        """Commit one move for real and record the trace entry."""
+        entry = move.script_entry(self.circuit)
+        before = self.cache.gates_repropagated
+        self.circuit.apply_edit(move.edit)
+        power_after = self.cache.total_power()
+        cone = self.cache.gates_repropagated - before
+        delay_after = circuit_delay(self.circuit, self.cache.model.tech,
+                                    self.cache.po_load)
+        self.accepted.append(AcceptedMove(
+            index=len(self.accepted),
+            trial=self.trials,
+            gate=move.gate,
+            kind=move.kind,
+            label=script_edit_label(move.edit),
+            entry=entry,
+            delta_power=power_after - self.power,
+            delta_delay=delay_after - self.delay,
+            power_after=power_after,
+            delay_after=delay_after,
+            cone=cone,
+            temperature=temperature,
+        ))
+        self.power = power_after
+        self.delay = delay_after
+        self.score = self.objective.score(power_after, delay_after,
+                                          self.power0, self.delay0)
+
+    def touched_gates(self, move: Move) -> List[str]:
+        """Gates whose decision context an accepted ``move`` changed.
+
+        The accepted gate's fanin drivers always re-enter the worklist
+        (the gate's pin capacitances — their load — changed); template
+        swaps additionally re-enqueue the accepted gate itself (a new
+        configuration space) and its fanout cone (their input
+        statistics changed).
+        """
+        touched = [g.name for g in self.circuit.fanin_drivers(move.gate)]
+        if move.kind == "retemplate":
+            touched.extend(self.cache.index.cone_from_gates([move.gate]))
+        return touched
+
+    def movable(self, gate_name: str) -> bool:
+        gate = self.circuit.gate(gate_name)
+        if gate.template.num_configurations() > 1:
+            return True
+        return bool(self.retemplate and self.groups.get(gate.template.pins))
+
+
+def _greedy(state: _Search, max_rounds: Optional[int]) -> int:
+    """Steepest descent to a fixed point; returns rounds run."""
+    topo_index = state.cache.topo_index
+    worklist = {name for name in topo_index if state.movable(name)}
+    rounds = 0
+    while worklist and not state.out_of_budget():
+        if max_rounds is not None and rounds >= max_rounds:
+            state.budget_exhausted = True
+            break
+        rounds += 1
+        queue = sorted(worklist, key=topo_index.__getitem__)
+        worklist = set()
+        for name in queue:
+            if state.out_of_budget():
+                break
+            moves = enumerate_moves(state.circuit, name, state.retemplate,
+                                    state.groups)
+            best: Optional[Tuple[float, Move]] = None
+            # Reorder candidates share the gate's template and batch in
+            # one WhatIf; retemplate candidates batch in a second one
+            # (a reorder of the old template cannot legally follow a
+            # swap inside the same trial).
+            for kind in ("reorder", "retemplate"):
+                batch = [m for m in moves if m.kind == kind]
+                if not batch:
+                    continue
+                for move, (score, _, _) in zip(batch, state.score_batch(batch)):
+                    delta = score - state.score
+                    if delta < -_TOL and (best is None or score < best[0]):
+                        best = (score, move)
+            if best is not None:
+                state.accept(best[1])
+                worklist.update(
+                    g for g in state.touched_gates(best[1]) if state.movable(g)
+                )
+    return rounds
+
+
+def _anneal(state: _Search, seed: int, initial_temp: float, cooling: float,
+            moves_per_temp: int, anneal_trials: Optional[int]) -> int:
+    """Metropolis annealing over single random moves; returns trials run."""
+    topo_index = state.cache.topo_index
+    movable = sorted(
+        (name for name in topo_index if state.movable(name)),
+        key=topo_index.__getitem__,
+    )
+    if not movable:
+        return 0
+    rng = stream_rng(seed, f"anneal:{state.circuit.name}")
+    budget = anneal_trials if anneal_trials is not None else 32 * len(movable)
+    steps = 0
+    while steps < budget and not state.out_of_budget():
+        gate_name = movable[int(rng.integers(len(movable)))]
+        moves = enumerate_moves(state.circuit, gate_name, state.retemplate,
+                                state.groups)
+        temperature = initial_temp * cooling ** (steps // moves_per_temp)
+        steps += 1
+        if not moves:
+            continue  # unreachable for movable gates; spends budget anyway
+        move = moves[int(rng.integers(len(moves)))]
+        with WhatIf(state.cache) as trial:
+            trial.apply(move.edit)
+            power = trial.power()
+            delay = state.trial_delay()
+            state.trials += 1
+            score = state.objective.score(power, delay, state.power0,
+                                          state.delay0)
+            delta = score - state.score
+            if delta <= 0.0 or (
+                temperature > 0.0
+                and rng.random() < math.exp(-delta / temperature)
+            ):
+                accept = True
+            else:
+                accept = False
+        # Rolled back either way; committing inside the trial would skip
+        # the trace bookkeeping, so accepted moves re-apply for real.
+        if accept:
+            state.accept(move, temperature)
+    return steps
+
+
+def search_circuit(
+    circuit: Optional[Circuit] = None,
+    input_stats: Optional[Mapping[str, SignalStats]] = None,
+    *,
+    cache: Optional[StatsCache] = None,
+    strategy: str = "greedy",
+    objective: Union[str, Objective] = "power",
+    delay_weight: Optional[float] = None,
+    backend="analytic",
+    model: Optional[GatePowerModel] = None,
+    po_load: float = DEFAULT_PO_LOAD,
+    seed: int = 0,
+    retemplate: bool = False,
+    max_trials: Optional[int] = None,
+    max_moves: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    initial_temp: float = 0.02,
+    cooling: float = 0.9,
+    moves_per_temp: int = 8,
+    anneal_trials: Optional[int] = None,
+    polish: bool = False,
+    **backend_kwargs,
+) -> SearchResult:
+    """Run the delta-driven local search and return the searched circuit.
+
+    Either pass ``circuit`` + ``input_stats`` (a private copy is
+    searched; the input circuit is never mutated) or a live ``cache``
+    (its circuit is searched **in place** and the cache is left open —
+    the caller owns it; ``backend``/``model``/``po_load`` and backend
+    kwargs must then be left at their defaults).
+
+    ``max_trials`` caps candidate evaluations, ``max_moves`` caps
+    accepted moves, ``max_rounds`` caps greedy sweeps; hitting any one
+    sets ``budget_exhausted`` on the result.  ``anneal_trials`` sets
+    the annealing schedule length (default 32 x movable gates) without
+    consuming the global caps; ``polish=True`` runs a greedy descent
+    after annealing (still within the same budgets).
+
+    Determinism: for a fixed ``(circuit, input_stats, seed)`` and
+    parameters the accepted-move trace — and hence
+    :meth:`SearchResult.to_artifact` minus ``elapsed_s`` — is
+    byte-stable across runs and processes (greedy uses no randomness
+    at all; annealing draws from a CRC-stable substream).
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+    resolved = make_objective(objective, delay_weight)
+
+    owns_cache = cache is None
+    if owns_cache:
+        if circuit is None or input_stats is None:
+            raise TypeError("search_circuit needs circuit and input_stats "
+                            "(or a live cache=)")
+        work = circuit.copy()
+        if backend == "sampled":
+            # One seed drives the whole search: the annealing RNG and
+            # the backend's per-input sample substreams.
+            backend_kwargs.setdefault("seed", seed)
+        cache = StatsCache(work, input_stats, backend=backend, model=model,
+                           po_load=po_load, **backend_kwargs)
+    else:
+        if circuit is not None or input_stats is not None:
+            raise TypeError("pass either circuit/input_stats or cache=, not both")
+        if (model is not None or backend != "analytic" or backend_kwargs
+                or po_load != DEFAULT_PO_LOAD):
+            raise TypeError(
+                "backend/model/po_load arguments conflict with a live cache="
+            )
+
+    start = time.perf_counter()
+    repropagated_before = cache.gates_repropagated
+    try:
+        state = _Search(cache, resolved, retemplate, max_trials, max_moves)
+        rounds = 0
+        if strategy == "greedy":
+            rounds = _greedy(state, max_rounds)
+        else:
+            rounds = _anneal(state, seed, initial_temp, cooling,
+                             moves_per_temp, anneal_trials)
+            if polish and not state.out_of_budget():
+                rounds += _greedy(state, max_rounds)
+        power_after = cache.total_power()
+        delay_after = circuit_delay(cache.circuit, cache.model.tech,
+                                    cache.po_load)
+        result = SearchResult(
+            circuit=cache.circuit,
+            accepted=state.accepted,
+            net_stats=dict(cache.stats()),
+            power_before=state.power0,
+            power_after=power_after,
+            delay_before=state.delay0,
+            delay_after=delay_after,
+            trials=state.trials,
+            rounds=rounds,
+            gates_repropagated=cache.gates_repropagated - repropagated_before,
+            strategy=strategy,
+            objective=resolved,
+            seed=seed,
+            backend=cache.backend.name,
+            budget_exhausted=state.budget_exhausted,
+            elapsed_s=time.perf_counter() - start,
+        )
+    finally:
+        if owns_cache:
+            cache.close()
+    return result

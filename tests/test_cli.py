@@ -216,3 +216,81 @@ class TestEco:
         blif, script = self.write_inputs(tmp_path, [])
         with pytest.raises(SystemExit):
             run_cli("eco", blif, script, "--lanes", "64")
+
+
+class TestSearchCommand:
+    def write_blif(self, tmp_path):
+        blif = tmp_path / "fa.blif"
+        blif.write_text(FA_BLIF)
+        return str(blif)
+
+    def test_search_reports_trace_and_artifact(self, tmp_path):
+        import json
+
+        blif = self.write_blif(tmp_path)
+        out_path = tmp_path / "search.json"
+        code, text = run_cli("search", blif, "--out", str(out_path))
+        assert code == 0
+        assert "search - fa" in text
+        assert "greedy/power" in text
+        assert "power reduction" not in text  # search prints its own summary
+        assert "reduction" in text
+        assert "re-propagated" in text
+        artifact = json.loads(out_path.read_text())
+        assert artifact["search"]["strategy"] == "greedy"
+        assert artifact["search"]["scenario"] == "A"
+        assert artifact["accepted_count"] == len(artifact["moves"])
+        assert artifact["final"]["power"] <= artifact["baseline"]["power"]
+        # every traced move is a replayable eco-script entry
+        for move in artifact["moves"]:
+            assert move["edit"]["op"] in ("reorder", "retemplate")
+
+    def test_search_artifact_is_byte_stable(self, tmp_path):
+        from repro.bench.runner import dumps_artifact, load_artifact, strip_timing
+
+        blif = self.write_blif(tmp_path)
+        one, two = tmp_path / "one.json", tmp_path / "two.json"
+        run_cli("search", blif, "--strategy", "anneal", "--seed", "5",
+                "--anneal-trials", "40", "--out", str(one))
+        run_cli("search", blif, "--strategy", "anneal", "--seed", "5",
+                "--anneal-trials", "40", "--out", str(two))
+        assert dumps_artifact(strip_timing(load_artifact(str(one)))) == \
+            dumps_artifact(strip_timing(load_artifact(str(two))))
+
+    def test_search_saves_blif(self, tmp_path):
+        from repro.circuit.blif import parse_mapped_blif
+        from repro.gates.library import default_library
+
+        blif = self.write_blif(tmp_path)
+        out_blif = tmp_path / "searched.blif"
+        code, text = run_cli("search", blif, "--save-blif", str(out_blif))
+        assert code == 0
+        assert "wrote mapped BLIF" in text
+        restored = parse_mapped_blif(out_blif.read_text(), default_library())
+        assert len(restored) > 0
+
+    def test_search_sampled_backend(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        code, text = run_cli("search", blif, "--backend", "sampled",
+                             "--lanes", "32", "--steps", "8", "--max-moves", "3")
+        assert code == 0
+        assert "backend=sampled" in text
+
+    def test_search_lanes_requires_sampled(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        with pytest.raises(SystemExit):
+            run_cli("search", blif, "--lanes", "64")
+
+    def test_search_delay_weight_validation(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        with pytest.raises(SystemExit, match="power-delay"):
+            run_cli("search", blif, "--delay-weight", "0.7")
+        with pytest.raises(SystemExit, match="between 0 and 1"):
+            run_cli("search", blif, "--objective", "power-delay",
+                    "--delay-weight", "1.5")
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "x.blif"])
+        assert args.strategy == "greedy"
+        assert args.objective == "power"
+        assert not args.retemplate and not args.polish

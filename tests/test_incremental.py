@@ -350,6 +350,89 @@ class TestWhatIf:
                 after = circuit_power(circuit, stats).total
                 assert trial.delta_power() == pytest.approx(after - before, rel=1e-12)
 
+    def test_rollback_runs_when_the_trial_body_raises(self, adder):
+        circuit, stats = adder
+        with StatsCache(circuit, stats) as cache:
+            baseline_stats = dict(cache.stats())
+            baseline_power = cache.total_power()
+            gate = circuit.gates[3]
+            with pytest.raises(RuntimeError, match="boom"):
+                with WhatIf(cache) as trial:
+                    trial.apply(
+                        SetConfig(gate.name, gate.template.configurations()[-1])
+                    )
+                    raise RuntimeError("boom")
+            assert cache.stats() == baseline_stats
+            assert cache.total_power() == baseline_power
+
+    def test_raising_body_aborts_even_after_commit(self, adder):
+        # commit() marks intent, but a body that then raises never ran
+        # to completion — the partial trial must not leak.
+        circuit, stats = adder
+        with StatsCache(circuit, stats) as cache:
+            gate = circuit.gates[3]
+            original = gate.effective_config().key()
+            baseline_power = cache.total_power()
+            with pytest.raises(RuntimeError, match="after commit"):
+                with WhatIf(cache) as trial:
+                    trial.apply(
+                        SetConfig(gate.name, gate.template.configurations()[-1])
+                    )
+                    trial.commit()
+                    raise RuntimeError("after commit")
+            assert gate.effective_config().key() == original
+            assert cache.total_power() == baseline_power
+
+    def test_nested_trials_unwind_lifo(self, adder):
+        # An uncommitted outer trial rolls back its own edits AND an
+        # inner committed trial's (the inner commit is relative to the
+        # enclosing trial, not to the world).
+        circuit, stats = adder
+        with StatsCache(circuit, stats) as cache:
+            baseline_stats = dict(cache.stats())
+            baseline_power = cache.total_power()
+            outer_gate, inner_gate = circuit.gates[2], two_pin_gate(circuit, 1)
+            target_template = other_two_pin_template(inner_gate)
+            with WhatIf(cache) as outer:
+                outer.apply(SetConfig(
+                    outer_gate.name, outer_gate.template.configurations()[-1]
+                ))
+                with WhatIf(cache) as inner:
+                    inner.apply(SetTemplate(inner_gate.name, target_template))
+                    inner.commit()
+                # inner edits survive while the outer trial is open
+                assert inner_gate.template.name == target_template
+            assert cache.stats() == baseline_stats
+            assert cache.total_power() == baseline_power
+
+    def test_nested_commit_commit_keeps_both(self, adder):
+        circuit, stats = adder
+        with StatsCache(circuit, stats) as cache:
+            outer_gate, inner_gate = circuit.gates[2], two_pin_gate(circuit, 1)
+            target_config = outer_gate.template.configurations()[-1]
+            target_template = other_two_pin_template(inner_gate)
+            with WhatIf(cache) as outer:
+                outer.apply(SetConfig(outer_gate.name, target_config))
+                with WhatIf(cache) as inner:
+                    inner.apply(SetTemplate(inner_gate.name, target_template))
+                    inner.commit()
+                outer.commit()
+            assert outer_gate.effective_config().key() == target_config.key()
+            assert inner_gate.template.name == target_template
+            assert cache.stats() == propagate_stats(circuit, stats, "local")
+
+    def test_out_of_order_unwinding_rejected(self, adder):
+        circuit, stats = adder
+        with StatsCache(circuit, stats) as cache:
+            outer = WhatIf(cache).__enter__()
+            inner = WhatIf(cache).__enter__()
+            with pytest.raises(RuntimeError, match="LIFO"):
+                outer.__exit__(None, None, None)
+            # proper order still unwinds cleanly afterwards
+            inner.__exit__(None, None, None)
+            outer.__exit__(None, None, None)
+            assert cache.trial_stack == []
+
     def test_rollback_is_cone_sized(self, adder):
         circuit, stats = adder
         with StatsCache(circuit, stats) as cache:
@@ -442,3 +525,49 @@ class TestMultiPassOptimize:
         circuit, stats = adder
         with pytest.raises(ValueError):
             optimize_circuit(circuit, stats, passes=0)
+
+    def test_later_passes_are_cone_sized(self, adder):
+        # Pass 1 decides every gate; the cone-aware passes re-decide
+        # only the worklist (fanin drivers of re-configured gates), so
+        # total decisions stay well below passes_run full traversals.
+        circuit, stats = adder
+        result = optimize_circuit(circuit, stats, passes=10)
+        assert result.passes_run > 1
+        assert result.gates_decided > len(circuit)
+        assert result.gates_decided < result.passes_run * len(circuit)
+
+    def test_single_pass_decides_every_gate_once(self, adder):
+        circuit, stats = adder
+        result = optimize_circuit(circuit, stats)
+        assert result.gates_decided == len(circuit)
+
+    def test_cone_aware_matches_iterated_full_reoptimization(self, adder):
+        # The worklist protocol must land on exactly the configuration
+        # a naive "re-run the full single-pass optimiser to a fixed
+        # point" loop finds: a gate with unchanged fanin statistics and
+        # unchanged load re-decides identically, so skipping it is pure
+        # savings, never a different answer.
+        circuit, stats = adder
+        cone = optimize_circuit(circuit, stats, passes=10)
+        naive = optimize_circuit(circuit, stats, passes=1)
+        for _ in range(10):
+            again = optimize_circuit(naive.circuit, stats, passes=1)
+            if [d.chosen.config.key() for d in again.decisions] == [
+                d.chosen.config.key() for d in naive.decisions
+            ]:
+                break
+            naive = again
+        assert [d.chosen.config.key() for d in cone.decisions] == [
+            d.chosen.config.key() for d in naive.decisions
+        ]
+        assert cone.power_after == pytest.approx(naive.power_after, rel=1e-12)
+
+    def test_multipass_power_matches_reanalysis(self, adder):
+        # power_after of a converged multipass run is settled-load
+        # accounting — it must equal a from-scratch re-analysis of the
+        # emitted netlist.
+        circuit, stats = adder
+        result = optimize_circuit(circuit, stats, passes=10)
+        assert result.power_after == pytest.approx(
+            circuit_power(result.circuit, stats).total, rel=1e-12
+        )
