@@ -259,6 +259,9 @@ class EcoRow:
     power_after: float
     delay_before: float
     delay_after: float
+    retimed: int = -1
+    """Gate arrivals the incremental timing cache recomputed for this
+    edit; -1 when delay came from a full STA (``timing="full"``)."""
 
     @property
     def delta_power(self) -> float:
@@ -275,6 +278,7 @@ def run_eco(circuit: Circuit,
             backend: str = "analytic",
             model: Optional[GatePowerModel] = None,
             po_load: float = DEFAULT_PO_LOAD,
+            timing: str = "full",
             **backend_kwargs) -> List[EcoRow]:
     """Apply a JSON edit script in order, reporting per-edit deltas.
 
@@ -285,26 +289,58 @@ def run_eco(circuit: Circuit,
     template's configurations.  Statistics and power are maintained by
     a :class:`repro.incremental.StatsCache` with the chosen backend —
     every edit costs cone-sized work, which the ``cone`` column records.
-    """
-    from ..incremental import StatsCache
-    from ..incremental.eco import InputStatsEdit, resolve_edit, script_edit_label
 
+    ``timing`` selects the per-edit delay source: ``"full"`` (an STA
+    run per edit, the historical behaviour) or ``"incremental"`` (a
+    :class:`repro.incremental.TimingCache` sharing the stats cache's
+    fanout index — bit-identical delays for cone-sized work, with the
+    per-edit arrival recomputes recorded in ``EcoRow.retimed``).
+    """
+    from ..incremental import StatsCache, TimingCache
+    from ..incremental.eco import (
+        InputArrivalEdit,
+        InputStatsEdit,
+        resolve_edit,
+        script_edit_label,
+    )
+
+    if timing not in ("full", "incremental"):
+        raise ValueError(
+            f"unknown timing mode {timing!r}; use 'full' or 'incremental'"
+        )
     model = model if model is not None else GatePowerModel()
     cache = StatsCache(circuit, input_stats, backend=backend, model=model,
                        po_load=po_load, **backend_kwargs)
+    tcache = (TimingCache(circuit, tech=model.tech, po_load=po_load,
+                          index=cache.index)
+              if timing == "incremental" else None)
     rows: List[EcoRow] = []
     try:
         power = cache.total_power()
-        delay = circuit_delay(circuit, model.tech, po_load)
+        delay = (tcache.delay() if tcache is not None
+                 else circuit_delay(circuit, model.tech, po_load))
         for index, entry in enumerate(script):
             edit = resolve_edit(circuit, entry)
             repropagated = cache.gates_repropagated
+            retimed_before = tcache.gates_retimed if tcache is not None else 0
             if isinstance(edit, InputStatsEdit):
                 cache.set_input_stats(edit.net, edit.stats)
+            elif isinstance(edit, InputArrivalEdit):
+                if tcache is None:
+                    raise ValueError(
+                        "input-arrival edits need timing='incremental' "
+                        "(repro eco --timing)"
+                    )
+                tcache.set_input_arrival(edit.net, edit.arrival)
             else:
                 circuit.apply_edit(edit)
             power_after = cache.total_power()  # refreshes the dirty cone
-            delay_after = circuit_delay(circuit, model.tech, po_load)
+            if tcache is not None:
+                delay_after = tcache.delay()  # refreshes the timing cone
+                retimed = tcache.gates_retimed - retimed_before
+            else:
+                delay_after = circuit_delay(circuit, model.tech, po_load)
+                retimed = -1
             rows.append(EcoRow(
                 index=index,
                 label=script_edit_label(edit),
@@ -313,9 +349,12 @@ def run_eco(circuit: Circuit,
                 power_after=power_after,
                 delay_before=delay,
                 delay_after=delay_after,
+                retimed=retimed,
             ))
             power, delay = power_after, delay_after
     finally:
+        if tcache is not None:
+            tcache.close()
         cache.close()
     return rows
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from ..gates.capacitance import TechParams, pin_capacitance
+from ..gates.capacitance import TechParams, net_load, pin_capacitance
 from ..gates.library import GateConfig, GateLibrary, GateTemplate
 from ..gates.network import CompiledGate
 
@@ -196,13 +196,7 @@ class Circuit:
     def output_load(self, net: str, tech: TechParams,
                     po_load: float = 10.0e-15) -> float:
         """External capacitance on ``net``: fanin pins plus primary-output load."""
-        load = sum(
-            pin_capacitance(gate.compiled(), pin, tech)
-            for gate, pin in self.fanout(net)
-        )
-        if net in self.outputs:
-            load += po_load
-        return load
+        return net_load(self.fanout(net), net in self.outputs, tech, po_load)
 
     def gate_count_by_template(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

@@ -10,6 +10,7 @@ Subcommands::
     optimize FILE.blif     map + optimise a BLIF circuit, report savings
     eco FILE.blif SCRIPT   replay a JSON edit script incrementally,
                            reporting per-edit delta power/delay
+                           (--timing prices delay incrementally too)
     search FILE.blif       delta-driven ECO local search (greedy or
                            annealing) over the incremental engine
 """
@@ -105,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("blif", help="path to a combinational BLIF file")
     pe.add_argument("script",
                     help="JSON edit script: a list of "
-                         '{"op": "reorder"|"retemplate"|"input-stats", ...} '
-                         "entries (see repro.incremental.eco)")
+                         '{"op": "reorder"|"retemplate"|"input-stats"'
+                         '|"input-arrival", ...} entries (see '
+                         "repro.incremental.eco; input-arrival needs --timing)")
     pe.add_argument("--scenario", choices=["A", "B"], default="A")
     pe.add_argument("--seed", type=int, default=0)
     pe.add_argument("--backend", choices=["analytic", "sampled"],
@@ -119,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="explicit step size for --backend sampled (needed "
                          "when input-stats edits shorten dwell times below "
                          "the initial ones)")
+    pe.add_argument("--timing", action="store_true",
+                    help="maintain per-edit delay with the incremental "
+                         "TimingCache (cone-sized arrival re-propagation) "
+                         "instead of a full STA per edit")
     pe.add_argument("--out", metavar="PATH",
                     help="write the JSON result artifact here")
 
@@ -329,7 +335,7 @@ def _cmd_optimize(out, path: str, scenario: str, seed: int,
 
 def _cmd_eco(out, path: str, script_path: str, scenario: str, seed: int,
              backend: str, lanes: Optional[int], steps: Optional[int],
-             dt: Optional[float], out_path: Optional[str]) -> int:
+             dt: Optional[float], timing: bool, out_path: Optional[str]) -> int:
     import json
 
     from .analysis.experiments import run_eco
@@ -359,28 +365,38 @@ def _cmd_eco(out, path: str, script_path: str, scenario: str, seed: int,
     circuit = map_circuit(network)
     generator = ScenarioA(seed=seed) if scenario == "A" else ScenarioB(seed=seed)
     stats = generator.input_stats(circuit.inputs)
+    timing_mode = "incremental" if timing else "full"
     try:
-        rows = run_eco(circuit, stats, script, backend=backend, **backend_kwargs)
+        rows = run_eco(circuit, stats, script, backend=backend,
+                       timing=timing_mode, **backend_kwargs)
     except ValueError as error:
         # e.g. the sampled backend's frozen dt becoming too coarse for an
         # input-stats edit; surface the remedy instead of a traceback.
-        raise SystemExit(
-            f"eco failed: {error}\n"
-            "(for --backend sampled, pass an explicit --dt small enough for "
-            "every input-stats edit in the script)"
+        # (Other ValueErrors — like input-arrival without --timing —
+        # carry their own remedy; don't steer those users toward --dt.)
+        remedy = (
+            "\n(for --backend sampled, pass an explicit --dt small enough "
+            "for every input-stats edit in the script)"
+            if backend == "sampled" else ""
         )
+        raise SystemExit(f"eco failed: {error}{remedy}")
 
+    headers = ["#", "edit", "cone", "dP", "P after", "dD%"]
     table = [
-        (row.index, row.label, row.cone,
+        [row.index, row.label, row.cone,
          format_si(row.delta_power, "W"), format_si(row.power_after, "W"),
          format_percent((row.delta_delay / row.delay_before)
-                        if row.delay_before else 0.0))
+                        if row.delay_before else 0.0)]
         for row in rows
     ]
+    if timing:
+        headers.append("retimed")
+        for line, row in zip(table, rows):
+            line.append(row.retimed)
     out.write(format_table(
-        ("#", "edit", "cone", "dP", "P after", "dD%"), table,
+        tuple(headers), [tuple(line) for line in table],
         title=f"eco - {network.name} ({len(circuit)} gates, "
-              f"backend={backend})",
+              f"backend={backend}, timing={timing_mode})",
     ))
     out.write("\n")
     if rows:
@@ -389,7 +405,27 @@ def _cmd_eco(out, path: str, script_path: str, scenario: str, seed: int,
                   f"{format_si(total, 'W')}; re-propagated "
                   f"{sum(r.cone for r in rows)} gate cones "
                   f"vs {len(rows) * len(circuit)} from scratch\n")
+        if timing:
+            out.write(f"re-timed {sum(r.retimed for r in rows)} gate "
+                      f"arrivals vs {len(rows) * len(circuit)} for a full "
+                      f"STA per edit\n")
     if out_path:
+        results = []
+        for row in rows:
+            entry = {
+                "index": row.index,
+                "edit": row.label,
+                "cone": row.cone,
+                "power_before": row.power_before,
+                "power_after": row.power_after,
+                "delta_power": row.delta_power,
+                "delay_before": row.delay_before,
+                "delay_after": row.delay_after,
+                "delta_delay": row.delta_delay,
+            }
+            if timing:
+                entry["retimed"] = row.retimed
+            results.append(entry)
         artifact = {
             "schema": SCHEMA_VERSION,
             "eco": {
@@ -398,20 +434,10 @@ def _cmd_eco(out, path: str, script_path: str, scenario: str, seed: int,
                 "scenario": scenario,
                 "seed": seed,
                 "backend": backend,
+                "timing": timing_mode,
                 "script": script,
             },
-            "results": [
-                {
-                    "index": row.index,
-                    "edit": row.label,
-                    "cone": row.cone,
-                    "power_before": row.power_before,
-                    "power_after": row.power_after,
-                    "delay_before": row.delay_before,
-                    "delay_after": row.delay_after,
-                }
-                for row in rows
-            ],
+            "results": results,
         }
         write_artifact(artifact, out_path)
         out.write(f"wrote JSON artifact to {out_path}\n")
@@ -483,6 +509,10 @@ def _cmd_search(out, args) -> int:
               f"({format_percent(delay_change)}%)\n")
     out.write(f"re-propagated {result.gates_repropagated} gate stats vs "
               f"{result.trials * len(circuit)} for full rescoring per trial\n")
+    out.write(f"re-timed {result.gates_retimed} gate arrivals"
+              + (f" vs {result.trials * len(circuit)} for a full STA per trial"
+                 if result.objective.needs_delay else " (delay co-metric)")
+              + "\n")
     if args.out:
         write_artifact(result.to_artifact({"scenario": args.scenario}), args.out)
         out.write(f"wrote JSON artifact to {args.out}\n")
@@ -514,7 +544,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                              args.passes, args.save_blif, args.save_verilog)
     if args.command == "eco":
         return _cmd_eco(out, args.blif, args.script, args.scenario, args.seed,
-                        args.backend, args.lanes, args.steps, args.dt, args.out)
+                        args.backend, args.lanes, args.steps, args.dt,
+                        args.timing, args.out)
     if args.command == "search":
         return _cmd_search(out, args)
     raise AssertionError("unreachable")

@@ -106,6 +106,11 @@ class OptimizeResult:
     every gate; later (cone-aware) passes re-decide only the worklist,
     so with ``passes > 1`` this stays far below ``passes * len(circuit)``."""
 
+    gates_retimed: int = 0
+    """Gate arrival recomputations performed by the incremental timing
+    worklist (delay-aware objectives with ``passes > 1`` only; 0 when
+    no :class:`~repro.incremental.timing.TimingCache` was attached)."""
+
     @property
     def reduction(self) -> float:
         """Fractional power reduction relative to the input circuit."""
@@ -170,8 +175,19 @@ def optimize_circuit(
     re-configured gate.  This reaches the same fixed point as full
     re-traversal (a gate with unchanged decision inputs re-decides
     identically) in cone-sized work per pass
-    (``OptimizeResult.gates_decided`` counts the total).  The reported
-    ``power_before`` always refers to the input circuit and
+    (``OptimizeResult.gates_decided`` counts the total).
+
+    For the delay-aware objectives (``"delay-constrained"`` and
+    ``"fastest"``) the worklist additionally consumes **timing-dirty**
+    gates: a :class:`~repro.incremental.timing.TimingCache` rides along
+    on the working circuit, and every gate whose output arrival a pass
+    actually moved (cone-sized re-propagation with early cut-off, not
+    a full STA per pass) is re-verified next pass.  Under the model
+    those re-decides are idempotent — a decision reads fanin statistics
+    and load, both already covered by the load worklist — so this
+    widens the audited set without changing the fixed point;
+    ``OptimizeResult.gates_retimed`` counts the extra work.  The
+    reported ``power_before`` always refers to the input circuit and
     ``power_after`` to the settled configuration under its settled
     loads.
     """
@@ -212,6 +228,16 @@ def optimize_circuit(
     #: Gates to re-decide next pass; ``None`` = full traversal (pass 1).
     pending: Optional[set] = None
 
+    timing = None
+    if passes > 1 and objective in ("delay-constrained", "fastest"):
+        # Delay-aware objectives: watch the working circuit with an
+        # incremental timing cache so later passes can also consume
+        # timing-dirty gates (imported lazily — repro.incremental
+        # imports this module).
+        from ..incremental.timing import TimingCache
+
+        timing = TimingCache(result_circuit, tech=model.tech, po_load=po_load)
+
     for _ in range(passes):
         passes_run += 1
         changed_gates: set = set()
@@ -240,7 +266,11 @@ def optimize_circuit(
                                  model, load)
                 if chosen.config.key() != entry_key:
                     changed_gates.add(gate.name)
-                gate.config = chosen.config
+                    # Through the edit API so an attached TimingCache
+                    # hears about it; a plain assignment would not.
+                    result_circuit.set_config(gate.name, chosen.config)
+                else:
+                    gate.config = chosen.config
                 decisions_by_gate[gate.name] = GateDecision(
                     gate.name, gate.template.name, len(evaluations),
                     chosen, default_eval.power
@@ -277,7 +307,7 @@ def optimize_circuit(
                                  model, load)
                 if chosen.config.key() != entry_key:
                     changed_gates.add(gate.name)
-                    gate.config = chosen.config
+                    result_circuit.set_config(gate.name, chosen.config)
                 decisions_by_gate[gate.name] = GateDecision(
                     gate.name, gate.template.name, len(evaluations),
                     chosen, default_eval.power
@@ -293,6 +323,16 @@ def optimize_circuit(
             for pred in result_circuit.fanin_drivers(name):
                 if pred.template.num_configurations() > 1:
                     pending.add(pred.name)
+        if timing is not None:
+            # Timing-dirty consumption (delay-aware objectives): every
+            # gate whose output arrival this pass actually moved is
+            # re-verified next pass.  refresh() returns exactly those
+            # nets — cone-sized work, pruned by early cut-off.
+            for net in timing.refresh():
+                retimed_gate = result_circuit.driver(net)
+                if (retimed_gate is not None
+                        and retimed_gate.template.num_configurations() > 1):
+                    pending.add(retimed_gate.name)
         if not pending:
             break
 
@@ -309,9 +349,16 @@ def optimize_circuit(
             )
             power_after += report.total
 
+    gates_retimed = 0
+    if timing is not None:
+        timing.refresh()  # settle any dirt the final pass left behind
+        gates_retimed = timing.gates_retimed
+        timing.close()
+
     decisions = [decisions_by_gate[g.name] for g in topo]
     return OptimizeResult(result_circuit, net_stats, decisions,
-                          power_before, power_after, passes_run, gates_decided)
+                          power_before, power_after, passes_run, gates_decided,
+                          gates_retimed)
 
 
 def _choose(

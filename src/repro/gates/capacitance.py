@@ -25,6 +25,7 @@ from .network import CompiledGate, TransistorNetwork
 __all__ = [
     "TechParams",
     "pin_capacitance",
+    "net_load",
     "internal_node_capacitance",
     "output_intrinsic_capacitance",
 ]
@@ -73,6 +74,26 @@ def pin_capacitance(gate: CompiledGate, pin: str, tech: TechParams) -> float:
     if count == 0:
         raise KeyError(f"gate has no pin {pin!r}")
     return count * tech.c_gate
+
+
+def net_load(sinks, is_output: bool, tech: TechParams,
+             po_load: float) -> float:
+    """External capacitance on a net from its ``(gate, pin)`` sinks.
+
+    The **single** implementation of the load summation every consumer
+    shares — :meth:`repro.circuit.netlist.Circuit.output_load`, the
+    batch STA and both incremental caches — so they add the same
+    floats in the same order (their bit-identity contracts depend on
+    it).  ``sinks`` iterates ``(gate_instance, pin_name)`` pairs; both
+    :meth:`Circuit.fanout` and :meth:`FanoutIndex.sinks` produce them
+    in gate-creation-then-pin order.
+    """
+    load = sum(
+        pin_capacitance(gate.compiled(), pin, tech) for gate, pin in sinks
+    )
+    if is_output:
+        load += po_load
+    return load
 
 
 def internal_node_capacitance(gate: CompiledGate, node: str, tech: TechParams) -> float:

@@ -9,13 +9,27 @@ dirty, and re-propagates only those gates — through a pluggable
 backend (analytic or sampled) whose incremental results are
 bit-identical to a from-scratch run.
 
+:class:`TimingCache` is the delay-side twin: it maintains per-net
+arrival times (and lazily required times, slacks and the critical
+path) under the same edit-listener protocol, with a wider dirty set
+(fanin drivers included — an edit changes the load they see) pruned by
+early cut-off (re-propagation stops where a recomputed arrival is
+bit-identical to the cached one).
+
 See ``src/repro/incremental/README.md`` for the invalidation rules and
 the backend contract, and :class:`WhatIf` for trial-apply/rollback.
 """
 
 from .backends import AnalyticBackend, SampledBackend, StatsBackend, make_backend
 from .cache import StatsCache
-from .eco import InputStatsEdit, WhatIf, resolve_edit, script_edit_label
+from .eco import (
+    InputArrivalEdit,
+    InputStatsEdit,
+    WhatIf,
+    resolve_edit,
+    script_edit_label,
+)
+from .timing import TimingCache
 from .search import (
     AcceptedMove,
     Move,
@@ -32,8 +46,10 @@ __all__ = [
     "SampledBackend",
     "make_backend",
     "StatsCache",
+    "TimingCache",
     "WhatIf",
     "InputStatsEdit",
+    "InputArrivalEdit",
     "resolve_edit",
     "script_edit_label",
     "Objective",

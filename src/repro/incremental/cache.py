@@ -28,9 +28,9 @@ from ..circuit.netlist import Circuit
 from ..circuit.topology import FanoutIndex, topological_gates
 from ..core.optimizer import CircuitPowerReport
 from ..core.power_model import GatePowerModel, GatePowerReport
-from ..gates.capacitance import pin_capacitance
+from ..gates.capacitance import net_load
 from ..stochastic.signal import SignalStats
-from ..timing.sta import DEFAULT_PO_LOAD
+from ..timing.sta import DEFAULT_PO_LOAD, timing_context
 from .backends import make_backend
 
 __all__ = ["StatsCache"]
@@ -52,7 +52,7 @@ class StatsCache:
         self.circuit = circuit
         self.backend = make_backend(backend, **backend_kwargs)
         self.model = model if model is not None else GatePowerModel()
-        self.po_load = po_load
+        _, self.po_load = timing_context(self.model.tech, po_load)
         self.index = FanoutIndex(circuit)
         self._topo_index = {
             g.name: i for i, g in enumerate(topological_gates(circuit))
@@ -160,14 +160,8 @@ class StatsCache:
     # Power
     # ------------------------------------------------------------------
     def _output_load(self, net: str) -> float:
-        tech = self.model.tech
-        load = sum(
-            pin_capacitance(gate.compiled(), pin, tech)
-            for gate, pin in self.index.sinks(net)
-        )
-        if net in self._outputs:
-            load += self.po_load
-        return load
+        return net_load(self.index.sinks(net), net in self._outputs,
+                        self.model.tech, self.po_load)
 
     def _refresh_power(self) -> None:
         self.refresh()

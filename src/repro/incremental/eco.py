@@ -10,26 +10,30 @@ bit-identical statistics and power (cone-sized work both ways).
 The module also defines the JSON edit-script vocabulary of the
 ``repro eco`` CLI subcommand::
 
-    [{"op": "reorder",     "gate": "g3", "config": 2},
-     {"op": "retemplate",  "gate": "g7", "template": "nor2"},
-     {"op": "input-stats", "net": "a", "probability": 0.3, "density": 2e5}]
+    [{"op": "reorder",       "gate": "g3", "config": 2},
+     {"op": "retemplate",    "gate": "g7", "template": "nor2"},
+     {"op": "input-stats",   "net": "a", "probability": 0.3, "density": 2e5},
+     {"op": "input-arrival", "net": "a", "arrival": 2.0e-10}]
 
 ``"config"`` indexes the gate template's deterministic
 :meth:`~repro.gates.library.GateTemplate.configurations` enumeration
-(-1 = the template default).
+(-1 = the template default).  ``"input-arrival"`` is timing-side only:
+replaying it needs an incremental timing cache (``repro eco --timing``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 from ..circuit.netlist import Circuit, SetConfig, SetTemplate
 from ..stochastic.signal import SignalStats
 from .cache import StatsCache
+from .timing import TimingCache
 
 __all__ = [
     "InputStatsEdit",
+    "InputArrivalEdit",
     "EcoEdit",
     "WhatIf",
     "resolve_edit",
@@ -46,8 +50,21 @@ class InputStatsEdit:
     stats: SignalStats
 
 
+@dataclass(frozen=True)
+class InputArrivalEdit:
+    """Replace one primary input's arrival time — a timing-side ECO.
+
+    Only meaningful through a :class:`WhatIf` carrying a
+    :class:`~repro.incremental.timing.TimingCache` (statistics do not
+    depend on arrival times, so the stats cache never sees it).
+    """
+
+    net: str
+    arrival: float
+
+
 #: Everything :meth:`WhatIf.apply` and the eco CLI accept.
-EcoEdit = Union[SetConfig, SetTemplate, InputStatsEdit]
+EcoEdit = Union[SetConfig, SetTemplate, InputStatsEdit, InputArrivalEdit]
 
 
 class WhatIf:
@@ -71,14 +88,34 @@ class WhatIf:
     out-of-order rollback can corrupt the circuit).  Committing an
     inner trial hands its undo log to the enclosing trial, so rolling
     the outer trial back still undoes the inner edits.
+
+    Pass ``timing=`` (a :class:`~repro.incremental.timing.TimingCache`
+    on the same circuit) to co-price delay: :meth:`delay` and
+    :meth:`delta_delay` read it cone-sized, and rollback restores it
+    for free — the timing cache listens to the same edit notifications
+    the inverse edits emit, and recomputing a restored cone reproduces
+    the baseline arrivals bit-for-bit (same kernel, same floats).
+    Nesting and undo-log promotion need no extra machinery for the
+    same reason; only :data:`InputArrivalEdit` goes through the
+    timing cache directly (statistics never see arrival times).  An
+    inner trial carrying ``timing=`` must share the enclosing trial's
+    timing cache — committing it promotes the undo log outward, and a
+    promoted ``InputArrivalEdit`` can only be rolled back through the
+    cache that applied it (entering with a different one raises).
     """
 
-    def __init__(self, cache: StatsCache):
+    def __init__(self, cache: StatsCache, timing: Optional[TimingCache] = None):
+        if timing is not None and timing.circuit is not cache.circuit:
+            raise ValueError(
+                "timing= must be a TimingCache on the cache's own circuit"
+            )
         self.cache = cache
+        self.timing = timing
         self._undo: List[EcoEdit] = []
         self._committed = False
         self._entered = False
         self.baseline_power = cache.total_power()
+        self.baseline_delay = timing.delay() if timing is not None else None
 
     # ------------------------------------------------------------------
     def apply(self, edit: EcoEdit) -> None:
@@ -86,6 +123,13 @@ class WhatIf:
         if isinstance(edit, InputStatsEdit):
             old = self.cache.set_input_stats(edit.net, edit.stats)
             self._undo.append(InputStatsEdit(edit.net, old))
+        elif isinstance(edit, InputArrivalEdit):
+            if self.timing is None:
+                raise TypeError(
+                    "InputArrivalEdit needs a WhatIf constructed with timing="
+                )
+            old = self.timing.set_input_arrival(edit.net, edit.arrival)
+            self._undo.append(InputArrivalEdit(edit.net, old))
         else:
             self._undo.append(self.cache.circuit.apply_edit(edit))
 
@@ -97,6 +141,16 @@ class WhatIf:
         """Power change of the trial edits so far versus the baseline."""
         return self.cache.total_power() - self.baseline_power
 
+    def delay(self) -> float:
+        """Current circuit delay (incrementally retimed); needs ``timing=``."""
+        if self.timing is None:
+            raise TypeError("delay() needs a WhatIf constructed with timing=")
+        return self.timing.delay()
+
+    def delta_delay(self) -> float:
+        """Delay change of the trial edits so far versus the baseline."""
+        return self.delay() - self.baseline_delay
+
     def commit(self) -> None:
         """Keep the applied edits; exiting the block will not roll back."""
         self._committed = True
@@ -107,13 +161,25 @@ class WhatIf:
             edit = self._undo.pop()
             if isinstance(edit, InputStatsEdit):
                 self.cache.set_input_stats(edit.net, edit.stats)
+            elif isinstance(edit, InputArrivalEdit):
+                self.timing.set_input_arrival(edit.net, edit.arrival)
             else:
                 self.cache.circuit.apply_edit(edit)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "WhatIf":
+        stack = self.cache.trial_stack
+        if (stack and self.timing is not None
+                and stack[-1].timing is not self.timing):
+            # Committing this trial would promote its undo log — with
+            # any InputArrivalEdit inverses — to a trial that cannot
+            # replay them through the right timing cache.
+            raise RuntimeError(
+                "a nested WhatIf carrying timing= must share the enclosing "
+                "trial's timing cache"
+            )
         self._entered = True
-        self.cache.trial_stack.append(self)
+        stack.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -169,8 +235,11 @@ def resolve_edit(circuit: Circuit, entry: Mapping) -> EcoEdit:
             entry["net"],
             SignalStats(float(entry["probability"]), float(entry["density"])),
         )
+    if op == "input-arrival":
+        return InputArrivalEdit(entry["net"], float(entry["arrival"]))
     raise ValueError(
-        f"unknown edit op {op!r}; use 'reorder', 'retemplate' or 'input-stats'"
+        f"unknown edit op {op!r}; use 'reorder', 'retemplate', "
+        f"'input-stats' or 'input-arrival'"
     )
 
 
@@ -192,4 +261,6 @@ def script_edit_label(edit: EcoEdit) -> str:
             f"input-stats {edit.net} -> (P={edit.stats.probability:g}, "
             f"D={edit.stats.density:g})"
         )
+    if isinstance(edit, InputArrivalEdit):
+        return f"input-arrival {edit.net} -> {edit.arrival:g}"
     return repr(edit)

@@ -34,10 +34,14 @@ gate's template) and, opt-in, ``retemplate`` (same-pin-tuple library
 cells; these change the logic function, so they stay off unless the
 caller explicitly asks for a re-synthesis-style search).
 
-Objectives are weighted, baseline-normalised power/delay scores.  The
-pure power objective never runs STA inside the trial loop (delay is
-tracked per *accepted* move only); delay-bearing objectives pay a full
-STA per candidate (incremental timing is a ROADMAP item).
+Objectives are weighted, baseline-normalised power/delay scores.  All
+delay reads go through a live
+:class:`~repro.incremental.timing.TimingCache` sharing the stats
+cache's fanout index: delay-bearing objectives price every candidate
+move cone-locally (arrival re-propagation with early cut-off instead
+of a full STA per candidate — ``benchmarks/bench_incremental_timing.py``
+holds this to a >= 10x floor), and the pure power objective still only
+reads delay per *accepted* move, now cone-sized too.
 """
 
 from __future__ import annotations
@@ -51,9 +55,10 @@ from ..circuit.netlist import Circuit, SetConfig, SetTemplate
 from ..core.power_model import GatePowerModel
 from ..sim.bitsim import stream_rng
 from ..stochastic.signal import SignalStats
-from ..timing.sta import DEFAULT_PO_LOAD, circuit_delay
+from ..timing.sta import DEFAULT_PO_LOAD
 from .cache import StatsCache
 from .eco import WhatIf, script_edit_label
+from .timing import TimingCache
 
 __all__ = [
     "STRATEGIES",
@@ -245,6 +250,11 @@ class AcceptedMove:
     temperature: float
     """Annealing temperature at acceptance (0.0 under greedy descent)."""
 
+    retimed: int = 0
+    """Gate arrivals recomputed for this move's delay reading (the
+    incremental-timing mirror of ``cone``; covers everything retimed
+    since the previous accepted move's reading)."""
+
 
 @dataclass
 class SearchResult:
@@ -270,6 +280,11 @@ class SearchResult:
     backend: str
     budget_exhausted: bool = False
     elapsed_s: float = 0.0
+    gates_retimed: int = 0
+    """Total gate arrival recomputations the timing cache performed for
+    the search (delay-bearing objectives price every trial through it;
+    a naive searcher would pay a full STA — ``trials * gates`` arrival
+    computations — instead)."""
 
     @property
     def reduction(self) -> float:
@@ -320,6 +335,7 @@ class SearchResult:
             "rounds": self.rounds,
             "accepted_count": len(self.accepted),
             "gates_repropagated": self.gates_repropagated,
+            "gates_retimed": self.gates_retimed,
             "budget_exhausted": self.budget_exhausted,
             "elapsed_s": self.elapsed_s,
             "moves": [
@@ -335,6 +351,7 @@ class SearchResult:
                     "power_after": move.power_after,
                     "delay_after": move.delay_after,
                     "cone": move.cone,
+                    "retimed": move.retimed,
                     "temperature": move.temperature,
                 }
                 for move in self.accepted
@@ -348,10 +365,12 @@ class SearchResult:
 class _Search:
     """Shared trial/accept machinery of both strategies."""
 
-    def __init__(self, cache: StatsCache, objective: Objective,
+    def __init__(self, cache: StatsCache, timing: TimingCache,
+                 objective: Objective,
                  retemplate: bool, max_trials: Optional[int],
                  max_moves: Optional[int]):
         self.cache = cache
+        self.timing = timing
         self.circuit = cache.circuit
         self.objective = objective
         self.retemplate = retemplate
@@ -362,7 +381,7 @@ class _Search:
         self.accepted: List[AcceptedMove] = []
         self.budget_exhausted = False
         self.power = cache.total_power()
-        self.delay = circuit_delay(self.circuit, cache.model.tech, cache.po_load)
+        self.delay = timing.delay()
         self.power0 = self.power
         self.delay0 = self.delay
         self.score = objective.score(self.power, self.delay,
@@ -378,11 +397,15 @@ class _Search:
 
     # -- scoring ------------------------------------------------------
     def trial_delay(self) -> float:
-        """Delay of the current (trial) circuit state; STA only if scored."""
+        """Delay of the current (trial) circuit state; retimed only if scored.
+
+        Cone-priced: the live :class:`TimingCache` re-propagates only
+        the trial edit's timing-dirty cone (with early cut-off), not a
+        full STA per candidate.
+        """
         if not self.objective.needs_delay:
             return self.delay
-        return circuit_delay(self.circuit, self.cache.model.tech,
-                             self.cache.po_load)
+        return self.timing.delay()
 
     def score_batch(self, moves: Sequence[Move]) -> List[Tuple[float, float, float]]:
         """Trial every move of one gate in a single rolled-back WhatIf.
@@ -411,11 +434,12 @@ class _Search:
         """Commit one move for real and record the trace entry."""
         entry = move.script_entry(self.circuit)
         before = self.cache.gates_repropagated
+        retimed_before = self.timing.gates_retimed
         self.circuit.apply_edit(move.edit)
         power_after = self.cache.total_power()
         cone = self.cache.gates_repropagated - before
-        delay_after = circuit_delay(self.circuit, self.cache.model.tech,
-                                    self.cache.po_load)
+        delay_after = self.timing.delay()
+        retimed = self.timing.gates_retimed - retimed_before
         self.accepted.append(AcceptedMove(
             index=len(self.accepted),
             trial=self.trials,
@@ -428,6 +452,7 @@ class _Search:
             power_after=power_after,
             delay_after=delay_after,
             cone=cone,
+            retimed=retimed,
             temperature=temperature,
         ))
         self.power = power_after
@@ -609,8 +634,14 @@ def search_circuit(
 
     start = time.perf_counter()
     repropagated_before = cache.gates_repropagated
+    # The search's live timing side: shares the stats cache's fanout
+    # index and prices every delay read cone-locally (full STA per
+    # candidate was the pre-TimingCache behaviour).
+    timing = TimingCache(cache.circuit, tech=cache.model.tech,
+                         po_load=cache.po_load, index=cache.index)
     try:
-        state = _Search(cache, resolved, retemplate, max_trials, max_moves)
+        state = _Search(cache, timing, resolved, retemplate,
+                        max_trials, max_moves)
         rounds = 0
         if strategy == "greedy":
             rounds = _greedy(state, max_rounds)
@@ -620,8 +651,7 @@ def search_circuit(
             if polish and not state.out_of_budget():
                 rounds += _greedy(state, max_rounds)
         power_after = cache.total_power()
-        delay_after = circuit_delay(cache.circuit, cache.model.tech,
-                                    cache.po_load)
+        delay_after = timing.delay()
         result = SearchResult(
             circuit=cache.circuit,
             accepted=state.accepted,
@@ -633,6 +663,7 @@ def search_circuit(
             trials=state.trials,
             rounds=rounds,
             gates_repropagated=cache.gates_repropagated - repropagated_before,
+            gates_retimed=timing.gates_retimed,
             strategy=strategy,
             objective=resolved,
             seed=seed,
@@ -641,6 +672,7 @@ def search_circuit(
             elapsed_s=time.perf_counter() - start,
         )
     finally:
+        timing.close()
         if owns_cache:
             cache.close()
     return result

@@ -1,0 +1,289 @@
+"""The dirty-cone timing cache.
+
+:class:`TimingCache` maintains per-net arrival times — and, lazily,
+required times, slacks and the critical path — of a circuit under ECO
+edits, mirroring :class:`~repro.incremental.cache.StatsCache` on the
+delay axis of the paper's (P, D) co-metric (Table 3 column D).
+
+Invalidation is **wider** than the statistics rule (see README.md,
+"Timing invalidation rules"): an edit on gate *g* timing-dirties *g*,
+its transitive fanout, *and its fanin drivers* — a reorder or
+retemplate changes *g*'s compiled form, hence its pin capacitances,
+hence the load its drivers see, hence the Elmore delay (and output
+arrival) of those drivers; their arrival changes then ripple through
+*their* cones.  Re-propagation compensates with **early cut-off**: the
+refresh stops descending a fanout cone as soon as a recomputed arrival
+is bit-identical to the cached one (common — most reorders leave many
+pin capacitances, and therefore most downstream arrivals, untouched).
+
+Both the full initial sweep and the incremental re-propagation price
+gates through the same kernel as the batch analyzer
+(:func:`repro.timing.sta.gate_arrival` / :func:`~repro.timing.sta.net_load`),
+so the cache is bit-identical to a from-scratch
+:func:`~repro.timing.sta.analyze_timing` after any supported edit
+sequence — the property ``tests/test_timing_equivalence.py`` locks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..circuit.topology import FanoutIndex, topological_gates
+from ..timing.sta import TimingReport, gate_arrival, net_load, timing_context
+
+__all__ = ["TimingCache"]
+
+
+class TimingCache:
+    """Circuit-wide arrival times, re-propagated only where dirty.
+
+    Subscribes to :meth:`Circuit.apply_edit` notifications exactly like
+    :class:`~repro.incremental.cache.StatsCache`; pass ``index=`` to
+    share an existing :class:`FanoutIndex` (the supported edits never
+    change connectivity, so one index can serve both caches).
+    """
+
+    def __init__(self, circuit: Circuit,
+                 tech=None,
+                 po_load: Optional[float] = None,
+                 input_arrivals: Optional[Mapping[str, float]] = None,
+                 index: Optional[FanoutIndex] = None):
+        if index is None:
+            circuit.validate()
+            index = FanoutIndex(circuit)
+        self.circuit = circuit
+        self.tech, self.po_load = timing_context(tech, po_load)
+        self.index = index
+        self._topo = topological_gates(circuit)
+        self._topo_index = {g.name: i for i, g in enumerate(self._topo)}
+        self._outputs = frozenset(circuit.outputs)
+        self._input_arrivals: Dict[str, float] = {
+            net: (float(input_arrivals[net]) if input_arrivals else 0.0)
+            for net in circuit.inputs
+        }
+        self._arrivals: Dict[str, float] = dict(self._input_arrivals)
+        self._pred: Dict[str, Optional[str]] = {
+            net: None for net in circuit.inputs
+        }
+        for gate in self._topo:
+            arrival, pred = gate_arrival(gate, self._arrivals, self.tech,
+                                         self._load(gate.output))
+            self._arrivals[gate.output] = arrival
+            self._pred[gate.output] = pred
+        #: Seed gates awaiting re-propagation (the refresh descends
+        #: their cones itself, pruning with early cut-off, so the full
+        #: dirty cone is never materialised eagerly).
+        self._dirty: set = set()
+        self._required: Optional[Dict[str, float]] = None
+        self._required_clock: Optional[float] = None
+        #: Total gate arrivals recomputed by :meth:`refresh` calls (the
+        #: benchmark's cone-size measure); the initial full sweep is
+        #: not counted.
+        self.gates_retimed = 0
+        self.refresh_count = 0
+        circuit.add_edit_listener(self._on_edit)
+        self._subscribed = True
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _on_edit(self, gate_name: str, kind: str) -> None:
+        self._dirty.add(gate_name)
+        # Wider than the statistics rule: the edited gate's new
+        # compiled form can change its pin capacitances — the load its
+        # fanin drivers see — and load enters the Elmore delay, so the
+        # drivers' own output arrivals may move too.
+        for pred in self.circuit.fanin_drivers(gate_name):
+            self._dirty.add(pred.name)
+
+    def set_input_arrival(self, net: str, arrival: float) -> float:
+        """Edit one primary input's arrival time; returns the old value."""
+        if net not in self._input_arrivals:
+            raise KeyError(f"{net!r} is not a primary input")
+        old = self._input_arrivals[net]
+        arrival = float(arrival)
+        if arrival == old:
+            return old
+        self._input_arrivals[net] = arrival
+        self._arrivals[net] = arrival
+        self._required = None  # the net may have no sinks to refresh through
+        for gate, _pin in self.index.sinks(net):
+            self._dirty.add(gate.name)
+        return old
+
+    def input_arrival(self, net: str) -> float:
+        return self._input_arrivals[net]
+
+    @property
+    def input_arrivals(self) -> Mapping[str, float]:
+        """Primary-input arrival times (treat as read-only)."""
+        return self._input_arrivals
+
+    @property
+    def dirty_gates(self) -> frozenset:
+        """Names of gates whose arrival *may* be re-propagated.
+
+        The potential dirty cone (seeds plus transitive fanout); the
+        actual refresh usually touches far fewer gates thanks to early
+        cut-off.
+        """
+        return self.index.cone_from_gates(self._dirty)
+
+    # ------------------------------------------------------------------
+    # Re-propagation
+    # ------------------------------------------------------------------
+    def _load(self, net: str) -> float:
+        return net_load(self.index.sinks(net), net in self._outputs,
+                        self.tech, self.po_load)
+
+    def refresh(self) -> Tuple[str, ...]:
+        """Re-propagate dirty cones; returns the nets whose arrival moved.
+
+        Gates pop off a min-heap in topological order, so every
+        recompute sees up-to-date fanin arrivals.  A gate whose
+        recomputed arrival is bit-identical to the cached one does not
+        enqueue its sinks — the early cut-off that keeps a wide dirty
+        cone from forcing a wide recompute — and is not reported
+        either; the total recompute count (changed or not) accumulates
+        in :attr:`gates_retimed`.
+        """
+        if not self._dirty:
+            return ()
+        order = self._topo_index
+        heap = [order[name] for name in self._dirty]
+        heapq.heapify(heap)
+        queued = set(self._dirty)
+        self._dirty.clear()
+        recomputed = 0
+        changed: List[str] = []
+        while heap:
+            gate = self._topo[heapq.heappop(heap)]
+            arrival, pred = gate_arrival(gate, self._arrivals, self.tech,
+                                         self._load(gate.output))
+            recomputed += 1
+            if arrival != self._arrivals[gate.output]:
+                self._arrivals[gate.output] = arrival
+                self._pred[gate.output] = pred
+                changed.append(gate.output)
+                for sink in self.index.gate_sinks(gate.name):
+                    if sink.name not in queued:
+                        queued.add(sink.name)
+                        heapq.heappush(heap, order[sink.name])
+            else:
+                # Arrival unchanged: downstream inputs are bit-identical,
+                # so downstream results are too — stop descending.  The
+                # latest-arriving pin can still have shifted (an exact
+                # tie), so the predecessor is updated regardless.
+                self._pred[gate.output] = pred
+        self.gates_retimed += recomputed
+        self.refresh_count += 1
+        self._required = None
+        return tuple(changed)
+
+    # ------------------------------------------------------------------
+    # Reads (lazily refreshing)
+    # ------------------------------------------------------------------
+    def arrivals(self) -> Dict[str, float]:
+        """The full, up-to-date arrival-time map (treat as read-only)."""
+        self.refresh()
+        return self._arrivals
+
+    def arrival(self, net: str) -> float:
+        self.refresh()
+        return self._arrivals[net]
+
+    def __getitem__(self, net: str) -> float:
+        return self.arrival(net)
+
+    def delay(self) -> float:
+        """Longest input-to-output delay — :func:`circuit_delay`, incrementally."""
+        self.refresh()
+        if not self.circuit.outputs:
+            return 0.0
+        return max(self._arrivals[n] for n in self.circuit.outputs)
+
+    def critical_path(self) -> Tuple[str, ...]:
+        """Net names from a primary input to the latest primary output."""
+        self.refresh()
+        if not self.circuit.outputs:
+            return ()
+        worst = max(self.circuit.outputs, key=lambda n: self._arrivals[n])
+        path: List[str] = []
+        net: Optional[str] = worst
+        while net is not None:
+            path.append(net)
+            net = self._pred[net]
+        path.reverse()
+        return tuple(path)
+
+    def report(self) -> TimingReport:
+        """A :class:`~repro.timing.sta.TimingReport` of the current state."""
+        return TimingReport(dict(self.arrivals()), self.delay(),
+                            self.critical_path())
+
+    # ------------------------------------------------------------------
+    # Required times and slacks (lazy backward pass)
+    # ------------------------------------------------------------------
+    def required_times(self, clock: Optional[float] = None) -> Dict[str, float]:
+        """Required arrival time of every net for a target ``clock``.
+
+        Defaults to the current circuit delay, making the critical path
+        the zero-slack path.  Computed by one backward sweep when first
+        asked for and cached until the next refresh actually retimes
+        something (treat the returned map as read-only).  Nets feeding
+        neither a gate nor a primary output have no deadline (``inf``).
+        """
+        self.refresh()
+        if clock is None:
+            clock = self.delay()
+        if self._required is not None and self._required_clock == clock:
+            return self._required
+        from ..timing.elmore import gate_pin_delay
+
+        required: Dict[str, float] = {
+            net: (clock if net in self._outputs else float("inf"))
+            for net in self._arrivals
+        }
+        for gate in reversed(self._topo):
+            compiled = gate.compiled()
+            config = gate.effective_config()
+            load = self._load(gate.output)
+            req_out = required[gate.output]
+            for pin in gate.template.pins:
+                net = gate.pin_nets[pin]
+                t = req_out - gate_pin_delay(compiled, config, pin, self.tech,
+                                             load)
+                if t < required[net]:
+                    required[net] = t
+        self._required = required
+        self._required_clock = clock
+        return required
+
+    def slack(self, net: str, clock: Optional[float] = None) -> float:
+        """``required - arrival`` of one net (0.0 on the critical path)."""
+        return self.required_times(clock)[net] - self._arrivals[net]
+
+    def slacks(self, clock: Optional[float] = None) -> Dict[str, float]:
+        required = self.required_times(clock)
+        return {net: required[net] - self._arrivals[net] for net in required}
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the circuit's edit notifications."""
+        if self._subscribed:
+            self.circuit.remove_edit_listener(self._on_edit)
+            self._subscribed = False
+
+    def __enter__(self) -> "TimingCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingCache({self.circuit.name!r}, "
+            f"dirty_seeds={len(self._dirty)}, retimed={self.gates_retimed})"
+        )

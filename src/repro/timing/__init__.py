@@ -1,7 +1,15 @@
 """Timing substrates: Elmore stack delays and static timing analysis."""
 
 from .elmore import gate_pin_delay, gate_worst_delay, min_path_resistance, stack_delay
-from .sta import DEFAULT_PO_LOAD, TimingReport, analyze_timing, circuit_delay
+from .sta import (
+    DEFAULT_PO_LOAD,
+    TimingReport,
+    analyze_timing,
+    circuit_delay,
+    gate_arrival,
+    net_load,
+    timing_context,
+)
 
 __all__ = [
     "gate_pin_delay",
@@ -11,5 +19,8 @@ __all__ = [
     "TimingReport",
     "analyze_timing",
     "circuit_delay",
+    "gate_arrival",
+    "net_load",
+    "timing_context",
     "DEFAULT_PO_LOAD",
 ]

@@ -4,6 +4,14 @@ Propagates arrival times through the netlist using the per-pin Elmore
 delays of each gate's *current* transistor ordering, so re-ordering a
 gate changes the timing report — which is how the paper's Table 3
 column D (delay increase of the power-optimised circuit) is produced.
+
+The per-gate arrival kernel (:func:`gate_arrival`) and the net-load
+summation (:func:`net_load`) are shared with the incremental engine:
+:class:`repro.incremental.timing.TimingCache` maintains the same
+arrival times under ECO edits with cone-sized work and is bit-identical
+to :func:`analyze_timing` by construction (one kernel, two drivers).
+See ``src/repro/incremental/README.md`` ("Timing invalidation rules")
+for the dirty-set protocol the cache layers on top.
 """
 
 from __future__ import annotations
@@ -13,13 +21,59 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..circuit.netlist import Circuit, GateInstance
 from ..circuit.topology import topological_gates
-from ..gates.capacitance import TechParams
+from ..gates.capacitance import TechParams, net_load
 from .elmore import gate_pin_delay
 
-__all__ = ["TimingReport", "analyze_timing", "circuit_delay", "DEFAULT_PO_LOAD"]
+__all__ = [
+    "TimingReport",
+    "analyze_timing",
+    "circuit_delay",
+    "timing_context",
+    "gate_arrival",
+    "net_load",
+    "DEFAULT_PO_LOAD",
+]
 
 #: Default primary-output load: a few standard gate pins' worth.
 DEFAULT_PO_LOAD = 10.0e-15
+
+
+def timing_context(tech: Optional[TechParams] = None,
+                   po_load: Optional[float] = None) -> Tuple[TechParams, float]:
+    """Resolve the shared ``(tech, po_load)`` defaults in one place.
+
+    Every delay/load consumer — :func:`analyze_timing`,
+    :func:`circuit_delay`, :class:`repro.incremental.cache.StatsCache`
+    and :class:`repro.incremental.timing.TimingCache` — applies the
+    same defaulting rule; keeping it here stops each of them growing
+    its own copy.
+    """
+    return (tech if tech is not None else TechParams(),
+            DEFAULT_PO_LOAD if po_load is None else float(po_load))
+
+
+def gate_arrival(gate: GateInstance, arrivals: Mapping[str, float],
+                 tech: TechParams, load: float) -> Tuple[float, Optional[str]]:
+    """Output arrival time and latest-arriving fanin net of one gate.
+
+    The single per-gate kernel of both timing drivers: the batch
+    :func:`analyze_timing` sweep and the incremental
+    :class:`~repro.incremental.timing.TimingCache` re-propagation call
+    exactly this, so their results cannot drift apart.  Ties resolve to
+    the first pin in template order (strictly-greater comparison), like
+    Python's :func:`max` over the same sequence.
+    """
+    compiled = gate.compiled()
+    config = gate.effective_config()
+    best_time = float("-inf")
+    best_pred: Optional[str] = None
+    for pin in gate.template.pins:
+        net = gate.pin_nets[pin]
+        t = arrivals[net] + gate_pin_delay(compiled, config, pin, tech, load)
+        if t > best_time:
+            best_time = t
+            best_pred = net
+    return best_time, best_pred
 
 
 @dataclass(frozen=True)
@@ -39,26 +93,19 @@ def analyze_timing(circuit: Circuit, tech: Optional[TechParams] = None,
                    po_load: float = DEFAULT_PO_LOAD,
                    input_arrivals: Optional[Mapping[str, float]] = None) -> TimingReport:
     """Compute arrival times for every net and extract the critical path."""
-    tech = tech if tech is not None else TechParams()
+    tech, po_load = timing_context(tech, po_load)
     arrivals: Dict[str, float] = {}
     predecessor: Dict[str, Optional[str]] = {}
     for net in circuit.inputs:
         arrivals[net] = float(input_arrivals[net]) if input_arrivals else 0.0
         predecessor[net] = None
+    outputs = frozenset(circuit.outputs)
     for gate in topological_gates(circuit):
-        compiled = gate.compiled()
-        config = gate.effective_config()
-        load = circuit.output_load(gate.output, tech, po_load)
-        best_time = float("-inf")
-        best_pred: Optional[str] = None
-        for pin in gate.template.pins:
-            net = gate.pin_nets[pin]
-            t = arrivals[net] + gate_pin_delay(compiled, config, pin, tech, load)
-            if t > best_time:
-                best_time = t
-                best_pred = net
-        arrivals[gate.output] = best_time
-        predecessor[gate.output] = best_pred
+        load = net_load(circuit.fanout(gate.output), gate.output in outputs,
+                        tech, po_load)
+        arrival, pred = gate_arrival(gate, arrivals, tech, load)
+        arrivals[gate.output] = arrival
+        predecessor[gate.output] = pred
     if circuit.outputs:
         worst_output = max(circuit.outputs, key=lambda n: arrivals[n])
         delay = arrivals[worst_output]

@@ -202,6 +202,36 @@ class TestEco:
         assert code == 0
         assert "1 edits" in text
 
+    def test_eco_timing_prices_delay_incrementally(self, tmp_path):
+        import json
+
+        script = [
+            {"op": "reorder", "gate": "g0", "config": 1},
+            {"op": "input-stats", "net": "a", "probability": 0.3,
+             "density": 2.0e5},
+            {"op": "reorder", "gate": "g0", "config": -1},
+        ]
+        blif, script_path = self.write_inputs(tmp_path, script)
+        full_out = tmp_path / "full.json"
+        timing_out = tmp_path / "timing.json"
+        code, _ = run_cli("eco", blif, script_path, "--out", str(full_out))
+        assert code == 0
+        code, text = run_cli("eco", blif, script_path, "--timing",
+                             "--out", str(timing_out))
+        assert code == 0
+        assert "timing=incremental" in text
+        assert "re-timed" in text
+        full = json.loads(full_out.read_text())
+        incr = json.loads(timing_out.read_text())
+        assert incr["eco"]["timing"] == "incremental"
+        assert full["eco"]["timing"] == "full"
+        # bit-identical delays, cone-sized work
+        for a, b in zip(full["results"], incr["results"]):
+            assert a["delay_after"] == b["delay_after"]
+            assert a["delta_delay"] == b["delta_delay"]
+            assert "retimed" not in a
+            assert 0 <= b["retimed"] <= incr["eco"]["gates"]
+
     def test_eco_rejects_non_list_script(self, tmp_path):
         import json
 
@@ -256,6 +286,42 @@ class TestSearchCommand:
                 "--anneal-trials", "40", "--out", str(two))
         assert dumps_artifact(strip_timing(load_artifact(str(one)))) == \
             dumps_artifact(strip_timing(load_artifact(str(two))))
+
+    def test_search_power_delay_trace_is_stable_and_replays_via_sta(
+            self, tmp_path):
+        # The power-delay objective now prices every trial through the
+        # incremental TimingCache; the artifact's per-move delay trace
+        # must (a) be byte-stable across runs and (b) replay exactly:
+        # applying the accepted-move script to a fresh circuit and
+        # running a from-scratch STA after each edit reproduces every
+        # delay_after bit-for-bit.
+        import json
+
+        from repro.circuit.blif import load_blif
+        from repro.incremental.eco import resolve_edit
+        from repro.synth.mapper import map_circuit
+        from repro.timing.sta import analyze_timing
+
+        from repro.bench.runner import dumps_artifact, load_artifact, strip_timing
+
+        blif = self.write_blif(tmp_path)
+        one, two = tmp_path / "one.json", tmp_path / "two.json"
+        argv = ["search", blif, "--objective", "power-delay",
+                "--delay-weight", "0.4", "--seed", "3"]
+        code, text = run_cli(*argv, "--out", str(one))
+        assert code == 0
+        assert "re-timed" in text and "full STA per trial" in text
+        run_cli(*argv, "--out", str(two))
+        assert dumps_artifact(strip_timing(load_artifact(str(one)))) == \
+            dumps_artifact(strip_timing(load_artifact(str(two))))
+
+        artifact = json.loads(one.read_text())
+        assert artifact["gates_retimed"] > 0
+        circuit = map_circuit(load_blif(blif))
+        for move in artifact["moves"]:
+            circuit.apply_edit(resolve_edit(circuit, move["edit"]))
+            assert analyze_timing(circuit).delay == move["delay_after"]
+        assert analyze_timing(circuit).delay == artifact["final"]["delay"]
 
     def test_search_saves_blif(self, tmp_path):
         from repro.circuit.blif import parse_mapped_blif
