@@ -110,6 +110,10 @@ class Circuit:
         self._gates: Dict[str, GateInstance] = {}
         self._driver: Dict[str, GateInstance] = {}
         self._edit_listeners: List[Callable[[str, str], None]] = []
+        #: Memoised derived structure (fanout index, topological order,
+        #: levels, compiled form); cleared by structural mutation.  See
+        #: :meth:`fanout_index` / :meth:`topo_gates` / :meth:`gate_levels`.
+        self._structure: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -120,11 +124,13 @@ class Circuit:
         if net in self._driver:
             raise CircuitError(f"net {net!r} already driven by a gate")
         self.inputs.append(net)
+        self._invalidate_structure()
 
     def add_output(self, net: str) -> None:
         if net in self.outputs:
             raise CircuitError(f"duplicate primary output {net!r}")
         self.outputs.append(net)
+        self._invalidate_structure()
 
     def add_gate(self, name: str, template_name: str,
                  pin_nets: Mapping[str, str], output: str,
@@ -140,7 +146,65 @@ class Circuit:
         gate = GateInstance(name, template, dict(pin_nets), output, config)
         self._gates[name] = gate
         self._driver[output] = gate
+        self._invalidate_structure()
         return gate
+
+    # ------------------------------------------------------------------
+    # Memoised derived structure
+    # ------------------------------------------------------------------
+    def _invalidate_structure(self) -> None:
+        """Drop memoised structure after a structural mutation.
+
+        The supported ECO edits (:meth:`apply_edit`) never change
+        connectivity, so they do **not** invalidate; only adding
+        inputs/outputs/gates does.  A memoised compiled form keeps an
+        edit listener alive, so it is detached before being dropped.
+        """
+        compiled = self._structure.pop("compiled", None)
+        if compiled is not None:
+            compiled.close()
+        self._structure.clear()
+
+    def fanout_index(self):
+        """The memoised :class:`~repro.circuit.topology.FanoutIndex`.
+
+        Built on first use and shared by every consumer (stats cache,
+        timing cache, searches, load queries), so attaching a second
+        cache does not redo the O(V+E) inversion.  Invalidated by
+        structural mutation; the supported edits keep it valid.
+        """
+        index = self._structure.get("fanout_index")
+        if index is None:
+            from .topology import FanoutIndex
+
+            index = FanoutIndex(self)
+            self._structure["fanout_index"] = index
+        return index
+
+    def topo_gates(self) -> Tuple[GateInstance, ...]:
+        """Memoised topological order (drivers before sinks)."""
+        order = self._structure.get("topo")
+        if order is None:
+            from .topology import topological_gates
+
+            order = tuple(topological_gates(self))
+            self._structure["topo"] = order
+        return order
+
+    def gate_levels(self) -> Mapping[str, int]:
+        """Memoised logic level per gate (treat as read-only)."""
+        levels = self._structure.get("levels")
+        if levels is None:
+            levels = {}
+            for gate in self.topo_gates():
+                level = 0
+                for net in gate.fanin_nets:
+                    pred = self._driver.get(net)
+                    if pred is not None:
+                        level = max(level, levels[pred.name] + 1)
+                levels[gate.name] = level
+            self._structure["levels"] = levels
+        return levels
 
     # ------------------------------------------------------------------
     # Queries
@@ -195,8 +259,15 @@ class Circuit:
 
     def output_load(self, net: str, tech: TechParams,
                     po_load: float = 10.0e-15) -> float:
-        """External capacitance on ``net``: fanin pins plus primary-output load."""
-        return net_load(self.fanout(net), net in self.outputs, tech, po_load)
+        """External capacitance on ``net``: fanin pins plus primary-output load.
+
+        Sinks come from the memoised :meth:`fanout_index` (O(result)
+        per query instead of an O(gates) scan per call), in the same
+        gate-creation-then-template-pin order every other load consumer
+        uses.
+        """
+        return net_load(self.fanout_index().sinks(net), net in self.outputs,
+                        tech, po_load)
 
     def gate_count_by_template(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -332,10 +403,8 @@ class Circuit:
     # ------------------------------------------------------------------
     def evaluate(self, input_values: Mapping[str, bool]) -> Dict[str, bool]:
         """Zero-delay evaluation of every net for one input vector."""
-        from .topology import topological_gates
-
         values: Dict[str, bool] = {n: bool(input_values[n]) for n in self.inputs}
-        for gate in topological_gates(self):
+        for gate in self.topo_gates():
             compiled = gate.compiled()
             minterm = 0
             for j, pin in enumerate(gate.template.pins):

@@ -56,16 +56,13 @@ def topological_gates(circuit: Circuit) -> List[GateInstance]:
 
 
 def levelize(circuit: Circuit) -> Dict[str, int]:
-    """Logic level of every gate (primary-input fanins are level 0)."""
-    levels: Dict[str, int] = {}
-    for gate in topological_gates(circuit):
-        level = 0
-        for net in gate.fanin_nets:
-            pred = circuit.driver(net)
-            if pred is not None:
-                level = max(level, levels[pred.name] + 1)
-        levels[gate.name] = level
-    return levels
+    """Logic level of every gate (primary-input fanins are level 0).
+
+    Delegates to the circuit's memoised :meth:`Circuit.gate_levels`
+    (returning a private copy), so repeated levelisations — one per
+    attached cache, historically — cost a dict copy, not a traversal.
+    """
+    return dict(circuit.gate_levels())
 
 
 def transitive_fanin(circuit: Circuit, net: str) -> Tuple[GateInstance, ...]:

@@ -161,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: 32 x movable gates)")
     ps.add_argument("--polish", action="store_true",
                     help="greedy descent after annealing")
+    ps.add_argument("--restarts", type=_positive_int, default=None,
+                    help="portfolio mode: run this many CRC-seeded "
+                         "annealing restarts and keep the best "
+                         "(default 4 when --jobs is given; requires "
+                         "--strategy anneal)")
+    ps.add_argument("--jobs", type=_positive_int, default=None,
+                    help="worker processes for the restart portfolio; "
+                         "results are identical across --jobs values "
+                         "(artifacts byte-identical once the run-timing "
+                         "fields are stripped; requires --strategy anneal)")
     ps.add_argument("--out", metavar="PATH",
                     help="write the canonical JSON search artifact here")
     ps.add_argument("--save-blif", metavar="PATH",
@@ -456,6 +466,18 @@ def _cmd_search(out, args) -> int:
             raise SystemExit("--delay-weight requires --objective power-delay")
         if not 0.0 < args.delay_weight < 1.0:
             raise SystemExit("--delay-weight must lie strictly between 0 and 1")
+    portfolio_kwargs = {}
+    if args.restarts is not None or args.jobs is not None:
+        if args.strategy != "anneal":
+            raise SystemExit("--restarts/--jobs require --strategy anneal")
+        from .incremental.portfolio import DEFAULT_RESTARTS
+
+        # The restart count never derives from --jobs: `--jobs 1` and
+        # `--jobs 4` do the same work and emit byte-identical artifacts.
+        portfolio_kwargs["restarts"] = (
+            args.restarts if args.restarts is not None else DEFAULT_RESTARTS
+        )
+        portfolio_kwargs["jobs"] = args.jobs if args.jobs is not None else 1
     backend_kwargs = {}
     if args.backend == "sampled":
         # search_circuit forwards its seed= into the sampled backend
@@ -480,6 +502,7 @@ def _cmd_search(out, args) -> int:
         seed=args.seed, retemplate=args.retemplate,
         max_trials=args.max_trials, max_moves=args.max_moves,
         anneal_trials=args.anneal_trials, polish=args.polish,
+        **portfolio_kwargs,
         **backend_kwargs,
     )
 
@@ -499,6 +522,11 @@ def _cmd_search(out, args) -> int:
               f"moves in {result.rounds} round(s)"
               + (" [budget exhausted]" if result.budget_exhausted else "")
               + "\n")
+    if result.restarts is not None:
+        winner = result.restarts[result.restart_index]
+        out.write(f"portfolio: best of {len(result.restarts)} restart(s) "
+                  f"on {result.jobs} job(s) — winner #{result.restart_index} "
+                  f"(seed {winner['seed']}, score {winner['score']:.6f})\n")
     out.write(f"power  : {format_si(result.power_before, 'W')} -> "
               f"{format_si(result.power_after, 'W')} "
               f"({format_percent(result.reduction)}% reduction)\n")

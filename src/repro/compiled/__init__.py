@@ -1,0 +1,24 @@
+"""Compiled flat-circuit kernels: the netlist as structure-of-arrays.
+
+``repro.compiled`` lowers a mapped :class:`~repro.circuit.netlist.Circuit`
+once into integer-indexed numpy arrays and evaluates the hot loops —
+analytic (P, D) propagation, net loads, arrival times, and their
+dirty-cone incremental forms — on index ranges instead of Python
+object traversals, with **bit-identical** results to the object-graph
+path (the equivalence contract ``tests/test_compiled.py`` locks).
+
+Consumers opt in per call with ``compiled=True`` or globally with the
+``REPRO_COMPILED`` environment flag; see ``README.md`` in this
+directory for the lowering, the SoA layout, and the contract.
+"""
+
+from .circuit import CompiledCircuit, get_compiled
+from .flags import ENV_VAR, compiled_default, use_compiled
+
+__all__ = [
+    "CompiledCircuit",
+    "get_compiled",
+    "ENV_VAR",
+    "compiled_default",
+    "use_compiled",
+]

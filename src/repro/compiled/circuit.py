@@ -1,0 +1,604 @@
+"""Flat structure-of-arrays lowering of a mapped circuit, plus kernels.
+
+A :class:`CompiledCircuit` lowers a :class:`~repro.circuit.netlist.Circuit`
+**once** into integer-indexed arrays — net/gate id maps, CSR-style
+fanin and fanout index arrays, per-gate template/configuration codes,
+pin-capacitance and load tables — and evaluates the hot loops of the
+reproduction on index ranges instead of object traversals:
+
+* from-scratch analytic (P, D) propagation (:meth:`stats_arrays` /
+  :meth:`local_stats`) and dirty-cone resettling (:meth:`resettle_stats`);
+* ``net_load`` summation for every net at once (:meth:`net_loads`);
+* arrival-time propagation, full (:meth:`arrivals_full`,
+  :meth:`analyze_timing`) and per-level re-timing (:meth:`retime_gates`)
+  for the incremental :class:`~repro.incremental.timing.TimingCache`.
+
+**The equivalence contract.**  Every kernel reproduces the object-graph
+arithmetic *operation for operation*: per-minterm weight products and
+masked sums follow :meth:`repro.boolean.truthtable.TruthTable.probability`,
+clamping follows ``repro.stochastic.density._clamp``, load summation
+follows :func:`repro.gates.capacitance.net_load` in the same
+gate-creation-then-template-pin sink order, and per-pin Elmore delays
+use the load-affine terms of
+:func:`repro.timing.elmore.stack_delay_terms` accumulated in
+:func:`~repro.timing.elmore.stack_delay`'s order.  numpy reduces the
+innermost contiguous axis with the same pairwise algorithm regardless
+of leading dimensions, so batching gates does not change a single bit
+— the property ``tests/test_compiled.py`` locks with hypothesis edit
+sequences.
+
+Work is batched by **(logic level, class)**: within a level no gate
+depends on another, and gates sharing a class (same template function
+for statistics; same template *and* configuration for timing) share
+truth-table selections and delay terms, so one vectorised evaluation
+covers the whole group.
+
+Lowering is memoised per circuit (:func:`get_compiled`): the supported
+ECO edits never change connectivity, so the structure arrays stay
+valid for the circuit's lifetime, and an edit listener keeps the
+per-gate class codes current.  Structural mutation invalidates the
+memo (see :meth:`Circuit._invalidate_structure`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..boolean.truthtable import TruthTable, _minterm_matrix
+from ..circuit.netlist import Circuit, GateInstance
+from ..gates.capacitance import TechParams, pin_terminal_counts
+from ..gates.network import OUT
+from ..stochastic.density import _EPS as _STATS_EPS
+from ..stochastic.signal import SignalStats
+from ..timing.elmore import LN2, gate_pin_delay_terms
+from ..timing.sta import TimingReport, build_timing_report
+
+__all__ = ["CompiledCircuit", "get_compiled"]
+
+
+def _tt_selection(tt: TruthTable) -> np.ndarray:
+    """Ascending minterm indices where ``tt`` is 1.
+
+    The exact unpacking :meth:`TruthTable.probability` performs before
+    its masked sum, so ``weights[:, selection].sum(axis=1)`` adds the
+    same floats in the same order as ``weights[mask].sum()``.
+    """
+    n = tt.nvars
+    nbytes = (1 << n) // 8 if n >= 3 else 1
+    packed = np.frombuffer(tt.bits.to_bytes(nbytes, "little"), dtype=np.uint8)
+    mask = np.unpackbits(packed, bitorder="little")[: 1 << n].astype(bool)
+    return np.flatnonzero(mask)
+
+
+def _pairwise_block(block: np.ndarray, start: int, count: int) -> np.ndarray:
+    """numpy's 1-D pairwise summation, lifted to columns of ``block``.
+
+    Mirrors the C ``pairwise_sum`` algorithm (sequential below 8
+    elements; eight interleaved partial sums combined as
+    ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))`` up to the 128 blocksize;
+    recursive halving above), with each scalar replaced by a column —
+    so every row's result is the double a 1-D ``.sum()`` of that row
+    would produce.  ``tests/test_compiled.py`` asserts the match for
+    every length a gate truth table can select.
+    """
+    if count < 8:
+        result = block[:, start].copy()
+        for i in range(1, count):
+            result += block[:, start + i]
+        return result
+    if count <= 128:
+        partial = [block[:, start + j].copy() for j in range(8)]
+        i = 8
+        while i < count - (count % 8):
+            for j in range(8):
+                partial[j] += block[:, start + i + j]
+            i += 8
+        result = (
+            (partial[0] + partial[1]) + (partial[2] + partial[3])
+        ) + ((partial[4] + partial[5]) + (partial[6] + partial[7]))
+        while i < count:
+            result += block[:, start + i]
+            i += 1
+        return result
+    half = (count // 2) - ((count // 2) % 8)
+    return (_pairwise_block(block, start, half)
+            + _pairwise_block(block, start + half, count - half))
+
+
+def _rowwise_selected_sum(weights: np.ndarray,
+                          selection: np.ndarray) -> np.ndarray:
+    """Per-row ``weights[row, selection].sum()`` in 1-D summation order.
+
+    ``sum(axis=1)`` reduces multi-row arrays in a different associativity
+    than a 1-D ``.sum()`` once rows reach eight elements, which would
+    break bit-identity with :meth:`TruthTable.probability`; this takes
+    the 1-D pairwise route explicitly.
+    """
+    if len(selection) == 0:
+        return np.zeros(len(weights))
+    picked = weights[:, selection]
+    return _pairwise_block(picked, 0, picked.shape[1])
+
+
+class _StatsClass:
+    """Per-template data of the (P, D) kernel (function, not ordering)."""
+
+    __slots__ = ("arity", "mat", "const_p", "out_sel", "pin_diffs")
+
+    def __init__(self, output_tt: TruthTable):
+        self.arity = output_tt.nvars
+        self.mat = _minterm_matrix(self.arity) if self.arity else None
+        if self.arity == 0 or output_tt.is_constant():
+            self.const_p: Optional[float] = 1.0 if output_tt.bits else 0.0
+            self.out_sel: Optional[np.ndarray] = None
+        else:
+            self.const_p = None
+            self.out_sel = _tt_selection(output_tt)
+        #: Per pin: ``(selection, None)`` for essential dependence or
+        #: ``(None, constant_probability)`` when the Boolean difference
+        #: is constant (TruthTable.probability's early-out).
+        self.pin_diffs: List[tuple] = []
+        for pin in output_tt.vars:
+            diff = output_tt.boolean_difference(pin)
+            if self.arity == 0 or diff.is_constant():
+                self.pin_diffs.append((None, 1.0 if diff.bits else 0.0))
+            else:
+                self.pin_diffs.append((_tt_selection(diff), None))
+
+
+class _TimingClass:
+    """Per-(template, configuration) data of the arrival kernel."""
+
+    __slots__ = ("arity", "out_terminals", "_compiled", "_config",
+                 "_delay_cache")
+
+    def __init__(self, gate: GateInstance):
+        compiled = gate.compiled()
+        self.arity = len(compiled.inputs)
+        self.out_terminals = compiled.terminal_counts[OUT]
+        self._compiled = compiled
+        self._config = gate.effective_config()
+        self._delay_cache: Dict[TechParams, tuple] = {}
+
+    def delay_data(self, tech: TechParams) -> tuple:
+        """``(base_cap, per-pin (fall_R, fall_terms, rise_R, rise_terms))``.
+
+        ``base_cap`` is the load-independent part of the output
+        capacitance, computed with :func:`gate_pin_delay`'s operation
+        order so ``base_cap + load`` lands on the identical double.
+        """
+        data = self._delay_cache.get(tech)
+        if data is None:
+            base_cap = self.out_terminals * tech.c_diff + tech.c_wire
+            pins = []
+            for pin in self._compiled.inputs:
+                (fall_r, fall_terms), (rise_r, rise_terms) = \
+                    gate_pin_delay_terms(self._compiled, self._config, pin,
+                                         tech)
+                pins.append((fall_r, fall_terms, rise_r, rise_terms))
+            data = (base_cap, tuple(pins))
+            self._delay_cache[tech] = data
+        return data
+
+
+class CompiledCircuit:
+    """The flat form of one circuit; see the module docstring."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        gates = circuit.gates  # creation order defines gate ids
+        num_gates = len(gates)
+        self.num_inputs = len(circuit.inputs)
+        #: Net names: primary inputs then gate outputs, in creation
+        #: order — gate ``g``'s output net id is ``num_inputs + g``.
+        self.nets: Tuple[str, ...] = circuit.nets()
+        self.net_id: Dict[str, int] = {n: i for i, n in enumerate(self.nets)}
+        self.gate_names: Tuple[str, ...] = tuple(g.name for g in gates)
+        self.gate_id: Dict[str, int] = {
+            name: i for i, name in enumerate(self.gate_names)
+        }
+        self.out_net = self.num_inputs + np.arange(num_gates, dtype=np.int64)
+        self.is_output = np.zeros(len(self.nets), dtype=bool)
+        for net in circuit.outputs:
+            self.is_output[self.net_id[net]] = True
+
+        # CSR fanin: gate g's pins (template order) occupy slots
+        # fanin_ptr[g]:fanin_ptr[g+1].  Slot order is therefore the
+        # gate-creation-then-template-pin order net_load sums in.
+        ptr = [0]
+        fanin: List[int] = []
+        for gate in gates:
+            fanin.extend(self.net_id[net] for net in gate.fanin_nets)
+            ptr.append(len(fanin))
+        self.fanin_ptr = np.asarray(ptr, dtype=np.int64)
+        self.fanin_net = np.asarray(fanin, dtype=np.int64)
+
+        topo_names = [g.name for g in circuit.topo_gates()]
+        self.topo_index = np.zeros(num_gates, dtype=np.int64)
+        for position, name in enumerate(topo_names):
+            self.topo_index[self.gate_id[name]] = position
+        levels_by_name = circuit.gate_levels()
+        self.level = np.asarray(
+            [levels_by_name[g.name] for g in gates], dtype=np.int64
+        )
+        order = np.argsort(self.level, kind="stable")
+        boundaries = np.flatnonzero(np.diff(self.level[order])) + 1
+        #: Gate ids grouped by ascending logic level.
+        self._levels: List[np.ndarray] = (
+            np.split(order, boundaries) if num_gates else []
+        )
+
+        # Deduplicated gate->sink-gate adjacency (CSR), for dirty-cone
+        # descent; mirrors FanoutIndex.gate_sinks.
+        index = circuit.fanout_index()
+        gs_ptr = [0]
+        gs_val: List[int] = []
+        for name in self.gate_names:
+            gs_val.extend(self.gate_id[s.name] for s in index.gate_sinks(name))
+            gs_ptr.append(len(gs_val))
+        self._gs_ptr = np.asarray(gs_ptr, dtype=np.int64)
+        self._gs_val = np.asarray(gs_val, dtype=np.int64)
+
+        # Class tables.  Statistics classes key on the template alone
+        # (output functions are ordering-independent); timing classes
+        # key on (template, configuration).
+        self._stats_classes: List[_StatsClass] = []
+        self._stats_keys: Dict[str, int] = {}
+        self._timing_classes: List[_TimingClass] = []
+        self._timing_keys: Dict[tuple, int] = {}
+        self.stats_code = np.zeros(num_gates, dtype=np.int64)
+        self.timing_code = np.zeros(num_gates, dtype=np.int64)
+        self.slot_count = np.zeros(len(self.fanin_net), dtype=np.int64)
+        self._stats_plan: Optional[list] = None
+        #: Bumped whenever a template swap changes pin capacitances.
+        self._cap_version = 0
+        self._slot_caps_cache: Dict[TechParams, tuple] = {}
+        self._loads_cache: Dict[tuple, tuple] = {}
+        #: Last (template, config) object seen per gate — identity
+        #: checks let the batch entry points resynchronise codes for
+        #: gates mutated outside the edit API (see :meth:`_sync_codes`).
+        self._seen_template: List[object] = [None] * num_gates
+        self._seen_config: List[object] = [None] * num_gates
+        for gid, gate in enumerate(gates):
+            self._apply_gate_codes(gid, gate)
+
+        circuit.add_edit_listener(self._on_edit)
+        self._subscribed = True
+
+    # ------------------------------------------------------------------
+    # Class-code maintenance
+    # ------------------------------------------------------------------
+    def _stats_code_for(self, gate: GateInstance) -> int:
+        key = gate.template.name
+        code = self._stats_keys.get(key)
+        if code is None:
+            code = len(self._stats_classes)
+            self._stats_classes.append(_StatsClass(gate.compiled().output_tt))
+            self._stats_keys[key] = code
+        return code
+
+    def _timing_code_for(self, gate: GateInstance) -> int:
+        key = (gate.template.name, gate.effective_config().key())
+        code = self._timing_keys.get(key)
+        if code is None:
+            code = len(self._timing_classes)
+            self._timing_classes.append(_TimingClass(gate))
+            self._timing_keys[key] = code
+        return code
+
+    def _set_slot_counts(self, gid: int, gate: GateInstance) -> None:
+        counts = pin_terminal_counts(gate.compiled())
+        start = self.fanin_ptr[gid]
+        for j, pin in enumerate(gate.template.pins):
+            self.slot_count[start + j] = counts[pin]
+
+    def _apply_gate_codes(self, gid: int, gate: GateInstance) -> None:
+        """(Re)derive one gate's class codes from its current state."""
+        if gate.template is not self._seen_template[gid]:
+            self.stats_code[gid] = self._stats_code_for(gate)
+            self._set_slot_counts(gid, gate)
+            self._cap_version += 1
+            self._stats_plan = None
+            self._seen_template[gid] = gate.template
+        self.timing_code[gid] = self._timing_code_for(gate)
+        self._seen_config[gid] = gate.config
+
+    def _on_edit(self, gate_name: str, kind: str) -> None:
+        gid = self.gate_id.get(gate_name)
+        if gid is None:  # pragma: no cover - structure memo is invalidated
+            return       # before new gates can be edited
+        self._apply_gate_codes(gid, self.circuit.gate(gate_name))
+
+    def _sync_codes(self) -> None:
+        """Pick up mutations made outside the edit API.
+
+        The incremental caches require edits to flow through
+        :meth:`Circuit.apply_edit` (their own invalidation depends on
+        it), but the batch entry points promise from-scratch semantics
+        — a caller may have assigned ``gate.config`` directly.  Object
+        identity of (template, config) is checked per gate, so a clean
+        pass costs one comparison per gate.
+        """
+        for gid, gate in enumerate(self.circuit.gates):
+            if (gate.template is self._seen_template[gid]
+                    and gate.config is self._seen_config[gid]):
+                continue
+            self._apply_gate_codes(gid, gate)
+
+    def close(self) -> None:
+        """Detach from the circuit's edit notifications (idempotent)."""
+        if self._subscribed:
+            self.circuit.remove_edit_listener(self._on_edit)
+            self._subscribed = False
+
+    # ------------------------------------------------------------------
+    # Shared gather helpers
+    # ------------------------------------------------------------------
+    def _fanin_matrix(self, gate_ids: np.ndarray, arity: int) -> np.ndarray:
+        """Fanin net ids of same-arity gates as a dense (G, arity) matrix."""
+        starts = self.fanin_ptr[gate_ids]
+        return self.fanin_net[starts[:, None] + np.arange(arity)]
+
+    def gate_sinks(self, gid: int) -> np.ndarray:
+        """Deduplicated sink gate ids of one gate's output."""
+        return self._gs_val[self._gs_ptr[gid]:self._gs_ptr[gid + 1]]
+
+    # ------------------------------------------------------------------
+    # (P, D) kernels
+    # ------------------------------------------------------------------
+    def _stats_group(self, cls: _StatsClass, fanin: np.ndarray,
+                     prob: np.ndarray, dens: np.ndarray):
+        """(P, D) of one same-class gate batch from its fanin columns."""
+        p_in = prob[fanin]
+        d_in = dens[fanin]
+        count = len(fanin)
+        if cls.const_p is None:
+            # TruthTable.probability: per-minterm weight products, then
+            # the masked sum over the function's minterms.
+            weights = np.prod(
+                np.where(cls.mat[None, :, :] == 1,
+                         p_in[:, None, :], 1.0 - p_in[:, None, :]),
+                axis=2,
+            )
+            p_out = np.minimum(1.0, np.maximum(
+                0.0, _rowwise_selected_sum(weights, cls.out_sel)))
+        else:
+            weights = None
+            p_out = np.full(count, cls.const_p)
+        d_out = np.zeros(count)
+        for j, (selection, const) in enumerate(cls.pin_diffs):
+            d_col = d_in[:, j]
+            if selection is None:
+                p_diff = const
+            else:
+                if weights is None:  # pragma: no cover - constant outputs
+                    weights = np.prod(  # have constant differences
+                        np.where(cls.mat[None, :, :] == 1,
+                                 p_in[:, None, :], 1.0 - p_in[:, None, :]),
+                        axis=2,
+                    )
+                p_diff = np.minimum(1.0, np.maximum(
+                    0.0, _rowwise_selected_sum(weights, selection)))
+            # local_gate_stats skips pins with zero density; adding the
+            # product there would be a no-op, but np.where keeps the
+            # accumulation literally identical.
+            d_out = np.where(d_col != 0.0, d_out + p_diff * d_col, d_out)
+        # _clamp: [0, 1] always, the epsilon band only for live signals.
+        p_out = np.minimum(1.0, np.maximum(0.0, p_out))
+        p_out = np.where(
+            d_out > 0.0,
+            np.minimum(1.0 - _STATS_EPS, np.maximum(_STATS_EPS, p_out)),
+            p_out,
+        )
+        return p_out, d_out
+
+    def _stats_full_plan(self) -> list:
+        plan = self._stats_plan
+        if plan is None:
+            plan = []
+            for ids in self._levels:
+                codes = self.stats_code[ids]
+                for code in np.unique(codes):
+                    sub = ids[codes == code]
+                    cls = self._stats_classes[code]
+                    plan.append((cls, sub, self._fanin_matrix(sub, cls.arity)))
+            self._stats_plan = plan
+        return plan
+
+    def stats_arrays(self, input_stats: Mapping[str, SignalStats]):
+        """From-scratch (P, D) of every net as ``(prob, dens)`` arrays."""
+        self._sync_codes()
+        prob = np.zeros(len(self.nets))
+        dens = np.zeros(len(self.nets))
+        for i, net in enumerate(self.circuit.inputs):
+            stats = input_stats[net]
+            prob[i] = stats.probability
+            dens[i] = stats.density
+        for cls, ids, fanin in self._stats_full_plan():
+            p_out, d_out = self._stats_group(cls, fanin, prob, dens)
+            out = self.out_net[ids]
+            prob[out] = p_out
+            dens[out] = d_out
+        return prob, dens
+
+    def local_stats(
+        self, input_stats: Mapping[str, SignalStats]
+    ) -> Dict[str, SignalStats]:
+        """Drop-in for :func:`repro.stochastic.density.local_stats`."""
+        prob, dens = self.stats_arrays(input_stats)
+        stats: Dict[str, SignalStats] = {
+            net: input_stats[net] for net in self.circuit.inputs
+        }
+        for gid, name in enumerate(self.gate_names):
+            out = self.num_inputs + gid
+            stats[self.nets[out]] = SignalStats(float(prob[out]),
+                                                float(dens[out]))
+        return stats
+
+    def resettle_stats(self, gate_ids: np.ndarray, prob: np.ndarray,
+                       dens: np.ndarray) -> None:
+        """Recompute the given gates' outputs in place (dirty-cone update).
+
+        ``gate_ids`` may arrive in any order; evaluation is batched by
+        ascending logic level, so every gate reads settled fanins —
+        exactly the values the object-graph backend's topological walk
+        would read, hence bit-identical updates.
+        """
+        if not len(gate_ids):
+            return
+        levels = self.level[gate_ids]
+        order = np.argsort(levels, kind="stable")
+        sorted_ids = gate_ids[order]
+        boundaries = np.flatnonzero(np.diff(levels[order])) + 1
+        for chunk in np.split(sorted_ids, boundaries):
+            codes = self.stats_code[chunk]
+            for code in np.unique(codes):
+                sub = chunk[codes == code]
+                cls = self._stats_classes[code]
+                fanin = self._fanin_matrix(sub, cls.arity)
+                p_out, d_out = self._stats_group(cls, fanin, prob, dens)
+                out = self.out_net[sub]
+                prob[out] = p_out
+                dens[out] = d_out
+
+    # ------------------------------------------------------------------
+    # Load and arrival kernels
+    # ------------------------------------------------------------------
+    def _slot_caps(self, tech: TechParams) -> np.ndarray:
+        cached = self._slot_caps_cache.get(tech)
+        if cached is not None and cached[0] == self._cap_version:
+            return cached[1]
+        caps = self.slot_count * tech.c_gate
+        self._slot_caps_cache[tech] = (self._cap_version, caps)
+        return caps
+
+    def net_loads(self, tech: TechParams, po_load: float) -> np.ndarray:
+        """External capacitance of every net at once (treat as read-only).
+
+        ``np.add.at`` accumulates the per-slot pin capacitances in slot
+        order — the gate-creation-then-template-pin order
+        :func:`~repro.gates.capacitance.net_load` sums in — and the
+        primary-output load lands last, so every entry is bit-identical
+        to the object-graph summation for that net.
+        """
+        key = (tech, float(po_load))
+        cached = self._loads_cache.get(key)
+        if cached is not None and cached[0] == self._cap_version:
+            return cached[1]
+        loads = np.zeros(len(self.nets))
+        np.add.at(loads, self.fanin_net, self._slot_caps(tech))
+        loads[self.is_output] += po_load
+        self._loads_cache[key] = (self._cap_version, loads)
+        return loads
+
+    def _arrival_group(self, cls: _TimingClass, fanin: np.ndarray,
+                       arr: np.ndarray, loads: np.ndarray,
+                       out_ids: np.ndarray, tech: TechParams):
+        """Arrival + latest-pin of one same-class batch (strict-> ties)."""
+        base_cap, pins = cls.delay_data(tech)
+        output_cap = base_cap + loads[out_ids]
+        best: Optional[np.ndarray] = None
+        best_pin: Optional[np.ndarray] = None
+        for j, (fall_r, fall_terms, rise_r, rise_terms) in enumerate(pins):
+            tau = output_cap * fall_r
+            for term in fall_terms:
+                tau = tau + term
+            fall = LN2 * tau
+            tau = output_cap * rise_r
+            for term in rise_terms:
+                tau = tau + term
+            rise = LN2 * tau
+            candidate = arr[fanin[:, j]] + np.maximum(fall, rise)
+            if best is None:
+                best = candidate
+                best_pin = np.zeros(len(candidate), dtype=np.int64)
+            else:
+                better = candidate > best
+                best = np.where(better, candidate, best)
+                best_pin = np.where(better, j, best_pin)
+        return best, best_pin
+
+    def retime_gates(self, gate_ids: np.ndarray, arr: np.ndarray,
+                     loads: np.ndarray, tech: TechParams):
+        """Recompute arrivals of one same-level batch.
+
+        Returns ``(gids, out_net_ids, arrivals, pred_net_ids)`` with
+        rows concatenated over the internal class grouping (order
+        within the level is immaterial — no intra-level dependencies).
+        """
+        parts_g, parts_o, parts_a, parts_p = [], [], [], []
+        codes = self.timing_code[gate_ids]
+        for code in np.unique(codes):
+            sub = gate_ids[codes == code]
+            cls = self._timing_classes[code]
+            fanin = self._fanin_matrix(sub, cls.arity)
+            out_ids = self.out_net[sub]
+            best, best_pin = self._arrival_group(cls, fanin, arr, loads,
+                                                 out_ids, tech)
+            parts_g.append(sub)
+            parts_o.append(out_ids)
+            parts_a.append(best)
+            parts_p.append(fanin[np.arange(len(sub)), best_pin])
+        return (np.concatenate(parts_g), np.concatenate(parts_o),
+                np.concatenate(parts_a), np.concatenate(parts_p))
+
+    def arrivals_full(self, tech: TechParams, po_load: float,
+                      input_arrivals: Optional[Mapping[str, float]] = None):
+        """From-scratch arrival sweep: ``(arrivals, pred_net)`` arrays.
+
+        ``pred_net[gid]`` is the net id of the gate's latest-arriving
+        fanin (first pin on exact ties, like
+        :func:`~repro.timing.sta.gate_arrival`).
+        """
+        self._sync_codes()
+        arr = np.zeros(len(self.nets))
+        if input_arrivals is not None:
+            for i, net in enumerate(self.circuit.inputs):
+                arr[i] = float(input_arrivals[net])
+        pred_net = np.full(len(self.gate_names), -1, dtype=np.int64)
+        loads = self.net_loads(tech, po_load)
+        for ids in self._levels:
+            gids, out_ids, arrivals, preds = self.retime_gates(
+                ids, arr, loads, tech)
+            arr[out_ids] = arrivals
+            pred_net[gids] = preds
+        return arr, pred_net
+
+    def analyze_timing(self, tech: TechParams, po_load: float,
+                       input_arrivals: Optional[Mapping[str, float]] = None
+                       ) -> TimingReport:
+        """Drop-in for :func:`repro.timing.sta.analyze_timing`."""
+        arr, pred_net = self.arrivals_full(tech, po_load, input_arrivals)
+        arrivals = {net: float(arr[i]) for i, net in enumerate(self.nets)}
+        predecessor: Dict[str, Optional[str]] = {
+            net: None for net in self.circuit.inputs
+        }
+        for gid, name in enumerate(self.gate_names):
+            predecessor[self.nets[self.num_inputs + gid]] = \
+                self.nets[pred_net[gid]]
+        return build_timing_report(arrivals, predecessor,
+                                   self.circuit.outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.circuit.name!r}, "
+            f"gates={len(self.gate_names)}, nets={len(self.nets)}, "
+            f"levels={len(self._levels)})"
+        )
+
+
+def get_compiled(circuit: Circuit) -> CompiledCircuit:
+    """The circuit's memoised :class:`CompiledCircuit` (lowered on first use).
+
+    Stored alongside the circuit's other memoised structure, so the
+    lowering survives ECO edits (an edit listener keeps class codes
+    current) and is dropped — with its listener detached — on
+    structural mutation.
+    """
+    compiled = circuit._structure.get("compiled")
+    if compiled is None:
+        compiled = CompiledCircuit(circuit)
+        circuit._structure["compiled"] = compiled
+    return compiled

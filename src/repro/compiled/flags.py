@@ -1,0 +1,51 @@
+"""The compiled-kernel feature flag.
+
+Every entry point that can route through the flat-circuit kernels —
+``propagate_stats(method="local")``, ``analyze_timing``,
+``StatsCache``/``TimingCache``, ``search_circuit`` — takes a
+``compiled`` argument with three states:
+
+* ``True`` / ``False`` — explicit opt-in / opt-out for this call;
+* ``None`` (the default) — defer to the ``REPRO_COMPILED``
+  environment variable, so a whole run (or CI job) flips engines
+  without touching call sites.
+
+The contract either way: compiled and object-graph results are
+**bit-identical** (``tests/test_compiled.py`` locks it), so the flag
+is purely a performance switch.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["ENV_VAR", "compiled_default", "use_compiled"]
+
+ENV_VAR = "REPRO_COMPILED"
+
+_TRUE = frozenset(("1", "true", "yes", "on"))
+_FALSE = frozenset(("", "0", "false", "no", "off"))
+
+
+def compiled_default() -> bool:
+    """The ambient default: the ``REPRO_COMPILED`` environment flag."""
+    value = os.environ.get(ENV_VAR)
+    if value is None:
+        return False
+    lowered = value.strip().lower()
+    if lowered in _TRUE:
+        return True
+    if lowered in _FALSE:
+        return False
+    raise ValueError(
+        f"{ENV_VAR}={value!r} is not a boolean; use one of "
+        f"{sorted(_TRUE)} / {sorted(_FALSE)}"
+    )
+
+
+def use_compiled(explicit: Optional[bool] = None) -> bool:
+    """Resolve one call's ``compiled`` argument against the ambient flag."""
+    if explicit is None:
+        return compiled_default()
+    return bool(explicit)

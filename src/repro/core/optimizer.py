@@ -37,7 +37,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..circuit.netlist import Circuit, GateInstance
-from ..circuit.topology import topological_gates
 from ..gates.capacitance import TechParams
 from ..stochastic.signal import SignalStats
 from ..timing.elmore import gate_pin_delay, gate_worst_delay
@@ -223,7 +222,7 @@ def optimize_circuit(
     passes_run = 0
     gates_decided = 0
     any_changed = False
-    topo = topological_gates(result_circuit)
+    topo = result_circuit.topo_gates()
     decisions_by_gate: Dict[str, GateDecision] = {}
     #: Gates to re-decide next pass; ``None`` = full traversal (pass 1).
     pending: Optional[set] = None

@@ -25,6 +25,7 @@ from .network import CompiledGate, TransistorNetwork
 __all__ = [
     "TechParams",
     "pin_capacitance",
+    "pin_terminal_counts",
     "net_load",
     "internal_node_capacitance",
     "output_intrinsic_capacitance",
@@ -64,13 +65,30 @@ class TechParams:
         return 0.5 * self.vdd * self.vdd
 
 
+def pin_terminal_counts(gate: CompiledGate) -> dict:
+    """Transistor gate-terminal count per pin, computed once per compiled gate.
+
+    Configuration-independent (every ordering uses the same devices);
+    cached on the compiled gate because the load summations below run
+    it per sink pin on every hot-path load query, and the flat-circuit
+    lowering (:mod:`repro.compiled`) reads the whole table at once.
+    """
+    counts = getattr(gate, "_pin_terminal_counts", None)
+    if counts is None:
+        counts = {}
+        for t in gate.network.transistors:
+            counts[t.signal] = counts.get(t.signal, 0) + 1
+        gate._pin_terminal_counts = counts
+    return counts
+
+
 def pin_capacitance(gate: CompiledGate, pin: str, tech: TechParams) -> float:
     """Input capacitance presented by one pin of a gate configuration.
 
     Counts the transistor gate terminals driven by the pin across both
     networks (one N and one P device for ordinary library gates).
     """
-    count = sum(1 for t in gate.network.transistors if t.signal == pin)
+    count = pin_terminal_counts(gate).get(pin, 0)
     if count == 0:
         raise KeyError(f"gate has no pin {pin!r}")
     return count * tech.c_gate

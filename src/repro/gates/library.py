@@ -34,7 +34,13 @@ class GateConfig:
     pun: SPTree
 
     def key(self) -> tuple:
-        return (sptree._ordered_key(self.pdn), sptree._ordered_key(self.pun))
+        """Hashable order-sensitive identity (memoised — hot-path lookup)."""
+        cached = getattr(self, "_key", None)
+        if cached is None:
+            cached = (sptree._ordered_key(self.pdn),
+                      sptree._ordered_key(self.pun))
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def __str__(self) -> str:
         return f"pdn={self.pdn} pun={self.pun}"

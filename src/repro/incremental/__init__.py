@@ -30,6 +30,7 @@ from .eco import (
     script_edit_label,
 )
 from .timing import TimingCache
+from .portfolio import DEFAULT_RESTARTS, restart_seed
 from .search import (
     AcceptedMove,
     Move,
@@ -59,4 +60,6 @@ __all__ = [
     "SearchResult",
     "enumerate_moves",
     "search_circuit",
+    "DEFAULT_RESTARTS",
+    "restart_seed",
 ]

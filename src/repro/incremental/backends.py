@@ -125,6 +125,16 @@ class SampledBackend(StatsBackend):
         self.dt = dt
         self._simulator: Optional[BitParallelSimulator] = None
         self._history: Optional[Dict[str, list]] = None
+        #: Materialised input substreams, keyed by ``(net, P, D)`` and
+        #: kept for the lifetime of the run (``seed``/``lanes``/``steps``
+        #: are fixed per backend, and ``dt`` is frozen at ``full`` time).
+        #: An input-stats edit used to rebuild ``stream_rng`` and redraw
+        #: the whole stream on every update — including the rollback leg
+        #: of every :class:`~repro.incremental.eco.WhatIf` trial, which
+        #: always restores statistics the run has already drawn words
+        #: for.  The cached word lists are never mutated (``resettle``
+        #: only rebinds gate-output entries), so sharing them is safe.
+        self._stream_cache: Dict[tuple, list] = {}
 
     def _resolve_dt(self, circuit, input_stats) -> float:
         if self.dt is not None:
@@ -137,14 +147,30 @@ class SampledBackend(StatsBackend):
             shortest = min(shortest, stats.mean_high_dwell, stats.mean_low_dwell)
         return 0.5 * shortest if np.isfinite(shortest) else 1.0
 
-    def full(self, circuit, input_stats):
-        self.dt = self._resolve_dt(circuit, input_stats)
-        self._simulator = BitParallelSimulator(circuit, self.lanes)
-        streams = {
-            net: markov_stream_words(
-                input_stats[net], self.lanes, self.steps, self.dt,
+    def _input_stream(self, net: str, stats) -> list:
+        """The net's packed word stream, drawn once per distinct (P, D).
+
+        Regenerating a substream is deterministic — ``stream_rng`` is
+        rebuilt from ``(seed, net)`` every time — so caching the words
+        changes nothing bit-wise; it only stops the inner trial loops
+        from redrawing streams the run has already seen.
+        """
+        key = (net, stats.probability, stats.density)
+        words = self._stream_cache.get(key)
+        if words is None:
+            words = markov_stream_words(
+                stats, self.lanes, self.steps, self.dt,
                 stream_rng(self.seed, net),
             )
+            self._stream_cache[key] = words
+        return words
+
+    def full(self, circuit, input_stats):
+        self.dt = self._resolve_dt(circuit, input_stats)
+        self._stream_cache.clear()  # dt may have changed; old words are stale
+        self._simulator = BitParallelSimulator(circuit, self.lanes)
+        streams = {
+            net: self._input_stream(net, input_stats[net])
             for net in circuit.inputs
         }
         self._history = self._simulator.settle_streams(streams)
@@ -155,10 +181,7 @@ class SampledBackend(StatsBackend):
         if self._history is None:
             raise RuntimeError("update() before full()")
         for net in changed_inputs:
-            self._history[net] = markov_stream_words(
-                input_stats[net], self.lanes, self.steps, self.dt,
-                stream_rng(self.seed, net),
-            )
+            self._history[net] = self._input_stream(net, input_stats[net])
         self._simulator.resettle(self._history, dirty_gates)
         updated = set(changed_inputs)
         updated.update(g.output for g in dirty_gates)
@@ -168,26 +191,42 @@ class SampledBackend(StatsBackend):
         return {net: report.measured_stats(net) for net in updated}
 
 
-def make_backend(backend, **kwargs) -> StatsBackend:
+def make_backend(backend, compiled: Optional[bool] = None,
+                 **kwargs) -> StatsBackend:
     """Resolve a backend name (or pass through an instance).
 
-    ``"analytic"``/``"local"`` select :class:`AnalyticBackend`;
-    ``"sampled"`` selects :class:`SampledBackend` (forwarding
-    ``lanes``/``steps``/``dt``/``seed``).
+    ``"analytic"``/``"local"`` select :class:`AnalyticBackend` — or its
+    flat-array twin :class:`repro.compiled.backend.CompiledAnalyticBackend`
+    when ``compiled`` resolves true (``None`` defers to the
+    ``REPRO_COMPILED`` environment flag; results are bit-identical
+    either way).  ``"sampled"`` selects :class:`SampledBackend`
+    (forwarding ``lanes``/``steps``/``dt``/``seed``); it has no
+    compiled kernel, so an explicit ``compiled=True`` is rejected
+    while the ambient flag is simply ignored.
     """
     if isinstance(backend, StatsBackend):
         if kwargs:
             raise TypeError(
                 f"backend arguments {sorted(kwargs)} conflict with an instance"
             )
+        if compiled:
+            raise TypeError("compiled= conflicts with a backend instance")
         return backend
     if backend in ("analytic", "local"):
         if kwargs:
             raise TypeError(
                 f"the analytic backend takes no arguments: {sorted(kwargs)}"
             )
+        from ..compiled.flags import use_compiled
+
+        if use_compiled(compiled):
+            from ..compiled.backend import CompiledAnalyticBackend
+
+            return CompiledAnalyticBackend()
         return AnalyticBackend()
     if backend == "sampled":
+        if compiled:
+            raise TypeError("the sampled backend has no compiled kernel")
         return SampledBackend(**kwargs)
     raise ValueError(
         f"unknown backend {backend!r}; use 'analytic', 'sampled' or an instance"

@@ -25,7 +25,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..circuit.netlist import Circuit
-from ..circuit.topology import FanoutIndex, topological_gates
 from ..core.optimizer import CircuitPowerReport
 from ..core.power_model import GatePowerModel, GatePowerReport
 from ..gates.capacitance import net_load
@@ -37,25 +36,36 @@ __all__ = ["StatsCache"]
 
 
 class StatsCache:
-    """Circuit-wide (P, D) and power, re-propagated only where dirty."""
+    """Circuit-wide (P, D) and power, re-propagated only where dirty.
+
+    ``compiled`` routes the analytic backend through the flat-array
+    kernels of :mod:`repro.compiled` (``None`` defers to the
+    ``REPRO_COMPILED`` environment flag; bit-identical either way;
+    rejected for the sampled backend, which has no compiled kernel).
+    """
 
     def __init__(self, circuit: Circuit,
                  input_stats: Mapping[str, SignalStats],
                  backend="analytic",
                  model: Optional[GatePowerModel] = None,
                  po_load: float = DEFAULT_PO_LOAD,
+                 compiled: Optional[bool] = None,
                  **backend_kwargs):
         circuit.validate()
         missing = [n for n in circuit.inputs if n not in input_stats]
         if missing:
             raise KeyError(f"missing input statistics for {missing}")
         self.circuit = circuit
-        self.backend = make_backend(backend, **backend_kwargs)
+        self.backend = make_backend(backend, compiled=compiled,
+                                    **backend_kwargs)
         self.model = model if model is not None else GatePowerModel()
         _, self.po_load = timing_context(self.model.tech, po_load)
-        self.index = FanoutIndex(circuit)
+        # Memoised on the circuit: a second cache (or a search run)
+        # reuses the same index and topological order instead of
+        # redoing the O(V+E) construction.
+        self.index = circuit.fanout_index()
         self._topo_index = {
-            g.name: i for i, g in enumerate(topological_gates(circuit))
+            g.name: i for i, g in enumerate(circuit.topo_gates())
         }
         self._outputs = frozenset(circuit.outputs)
         self._input_stats: Dict[str, SignalStats] = {

@@ -1,0 +1,215 @@
+"""Process-parallel portfolio annealing: N seeded restarts, one winner.
+
+Simulated annealing is a restart-friendly search: independent runs
+from different RNG substreams explore different basins, and the best
+of ``restarts`` runs dominates any single run.  This module shards
+those restarts over worker processes — each worker rebuilds the
+circuit from a plain-data spec and runs the ordinary
+:func:`~repro.incremental.search.search_circuit` annealer on its own
+:class:`~repro.incremental.cache.StatsCache` /
+:class:`~repro.incremental.timing.TimingCache` (and, under the
+``REPRO_COMPILED`` flag, its own
+:class:`~repro.compiled.circuit.CompiledCircuit`) — and merges the
+outcomes deterministically.
+
+Determinism is the design constraint, not an afterthought:
+
+* restart ``i`` draws its seed from :func:`restart_seed` — a CRC
+  substream of the base seed, the same scheme the samplers and the
+  annealer itself use — so the work each restart does is a pure
+  function of ``(circuit, input_stats, seed, i)`` and never of which
+  process ran it;
+* the merge picks the best objective score with a stable tie-break on
+  the restart index;
+* consequently the merged :class:`~repro.incremental.search.SearchResult`
+  — and its canonical JSON artifact minus the stripped timing fields —
+  is **byte-identical across any ``jobs`` setting** (the property
+  ``tests/test_portfolio.py`` and ``benchmarks/bench_parallel_search.py``
+  lock).
+
+Workers receive only picklable plain data (:func:`circuit_spec`), so
+the scheme is indifferent to fork/spawn start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import zlib
+from dataclasses import asdict
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..circuit.netlist import Circuit
+from ..stochastic.signal import SignalStats
+
+__all__ = [
+    "DEFAULT_RESTARTS",
+    "restart_seed",
+    "circuit_spec",
+    "circuit_from_spec",
+    "run_restarts",
+]
+
+#: Restart count when a caller asks for a portfolio (``jobs=N``)
+#: without sizing it.  Fixed — never derived from ``jobs`` — so the
+#: same request with different worker counts does the same work.
+DEFAULT_RESTARTS = 4
+
+
+def restart_seed(seed: int, index: int) -> int:
+    """The CRC-substream seed of restart ``index`` under base ``seed``.
+
+    Mirrors :func:`repro.sim.bitsim.stream_rng`'s labelling scheme:
+    stable across processes, platforms and restart-set sizes (adding a
+    restart never reseeds the existing ones).
+    """
+    return zlib.crc32(f"portfolio:{seed}:{index}".encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Picklable circuit round-trip
+# ----------------------------------------------------------------------
+def _config_index(gate) -> Optional[int]:
+    """Position of the gate's configuration in the template enumeration."""
+    if gate.config is None:
+        return None
+    key = gate.config.key()
+    for index, config in enumerate(gate.template.configurations()):
+        if config.key() == key:
+            return index
+    raise ValueError(
+        f"gate {gate.name}: configuration is not in "
+        f"{gate.template.name}'s enumeration and cannot be shipped "
+        f"to a worker process"
+    )
+
+
+def circuit_spec(circuit: Circuit) -> Dict[str, object]:
+    """A plain-data description a worker can rebuild the circuit from.
+
+    Templates travel as ``(name, pdn_expr, pins)`` triples and
+    configurations as indices into the deterministic
+    :meth:`~repro.gates.library.GateTemplate.configurations`
+    enumeration, so the rebuilt circuit is structurally and
+    configuration-wise identical — gate creation order included, which
+    topological tie-breaks and artifact byte-stability rely on.
+    """
+    return {
+        "name": circuit.name,
+        "templates": [
+            (t.name, t.pdn_expr, list(t.pins)) for t in circuit.library
+        ],
+        "inputs": list(circuit.inputs),
+        "outputs": list(circuit.outputs),
+        "gates": [
+            (
+                gate.name,
+                gate.template.name,
+                [(pin, gate.pin_nets[pin]) for pin in gate.template.pins],
+                gate.output,
+                _config_index(gate),
+            )
+            for gate in circuit.gates
+        ],
+    }
+
+
+def circuit_from_spec(spec: Mapping[str, object]) -> Circuit:
+    """Rebuild a :func:`circuit_spec` circuit (inverse round-trip)."""
+    from ..gates.library import GateLibrary, GateTemplate
+
+    library = GateLibrary([
+        GateTemplate(name, expr, tuple(pins))
+        for name, expr, pins in spec["templates"]
+    ])
+    circuit = Circuit(spec["name"], library)
+    for net in spec["inputs"]:
+        circuit.add_input(net)
+    for name, template_name, pin_nets, output, config_index in spec["gates"]:
+        template = library[template_name]
+        config = (None if config_index is None
+                  else template.configurations()[config_index])
+        circuit.add_gate(name, template_name, dict(pin_nets), output, config)
+    for net in spec["outputs"]:
+        circuit.add_output(net)
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# The worker
+# ----------------------------------------------------------------------
+def _run_restart(payload: Mapping[str, object]) -> Dict[str, object]:
+    """One annealing restart in plain data, for ``Pool.map``.
+
+    Runs in a worker process (or inline for ``jobs=1``); everything in
+    and out is picklable, and everything out is a pure function of the
+    payload.
+    """
+    from .search import search_circuit
+
+    circuit = circuit_from_spec(payload["spec"])
+    input_stats = {
+        net: SignalStats(probability, density)
+        for net, probability, density in payload["input_stats"]
+    }
+    result = search_circuit(
+        circuit, input_stats, strategy="anneal",
+        seed=payload["seed"], **payload["params"],
+    )
+    score = result.objective.score(result.power_after, result.delay_after,
+                                   result.power_before, result.delay_before)
+    return {
+        "index": payload["index"],
+        "seed": payload["seed"],
+        "score": score,
+        "power_before": result.power_before,
+        "power_after": result.power_after,
+        "delay_before": result.delay_before,
+        "delay_after": result.delay_after,
+        "trials": result.trials,
+        "rounds": result.rounds,
+        "accepted_count": len(result.accepted),
+        "gates_repropagated": result.gates_repropagated,
+        "gates_retimed": result.gates_retimed,
+        "budget_exhausted": result.budget_exhausted,
+        "backend": result.backend,
+        "moves": [asdict(move) for move in result.accepted],
+        "net_stats": [
+            (net, stats.probability, stats.density)
+            for net, stats in result.net_stats.items()
+        ],
+    }
+
+
+def run_restarts(circuit: Circuit,
+                 input_stats: Mapping[str, SignalStats],
+                 seed: int,
+                 restarts: int,
+                 jobs: int,
+                 params: Mapping[str, object]) -> List[Dict[str, object]]:
+    """Run ``restarts`` seeded annealing restarts, ``jobs`` at a time.
+
+    Returns the per-restart outcome dicts in restart order.  ``jobs=1``
+    runs inline (no pool, no pickling of numpy state); higher values
+    fan out over a process pool with ``chunksize=1`` — restart costs
+    vary, so welding them into chunks would serialise the slow ones.
+    """
+    spec = circuit_spec(circuit)
+    stats_rows = [
+        (net, input_stats[net].probability, input_stats[net].density)
+        for net in circuit.inputs
+    ]
+    payloads = [
+        {
+            "spec": spec,
+            "input_stats": stats_rows,
+            "seed": restart_seed(seed, index),
+            "index": index,
+            "params": dict(params),
+        }
+        for index in range(restarts)
+    ]
+    if jobs == 1 or restarts == 1:
+        return [_run_restart(payload) for payload in payloads]
+    with multiprocessing.get_context().Pool(
+            processes=min(jobs, restarts)) as pool:
+        return pool.map(_run_restart, payloads, chunksize=1)

@@ -286,6 +286,21 @@ class SearchResult:
     a naive searcher would pay a full STA — ``trials * gates`` arrival
     computations — instead)."""
 
+    restarts: Optional[List[Dict[str, object]]] = None
+    """Per-restart summaries of a portfolio run (``None`` for a single
+    search).  Pure functions of ``(circuit, input_stats, seed)`` — no
+    wall-clock fields — so the artifact stays byte-identical across
+    ``jobs`` settings."""
+
+    restart_index: Optional[int] = None
+    """Which restart the headline results (trace, power, delay) came
+    from: the best objective score, ties broken by restart index."""
+
+    jobs: int = 1
+    """Worker processes the portfolio ran on (1 = inline).  A run
+    descriptor like ``elapsed_s``, not a result: stripped from golden
+    artifact comparisons by :func:`repro.bench.runner.strip_timing`."""
+
     @property
     def reduction(self) -> float:
         if self.power_before <= 0.0:
@@ -322,7 +337,7 @@ class SearchResult:
         }
         if meta:
             search.update(meta)
-        return {
+        artifact: Dict[str, object] = {
             "schema": SCHEMA_VERSION,
             "search": search,
             "baseline": {"power": self.power_before, "delay": self.delay_before},
@@ -357,6 +372,14 @@ class SearchResult:
                 for move in self.accepted
             ],
         }
+        if self.restarts is not None:
+            artifact["portfolio"] = {
+                "count": len(self.restarts),
+                "winner": self.restart_index,
+                "jobs": self.jobs,
+                "restarts": [dict(entry) for entry in self.restarts],
+            }
+        return artifact
 
 
 # ----------------------------------------------------------------------
@@ -563,6 +586,86 @@ def _anneal(state: _Search, seed: int, initial_temp: float, cooling: float,
     return steps
 
 
+def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
+               objective: Objective, *, seed: int, restarts: int, jobs: int,
+               backend, model, po_load, retemplate, max_trials, max_moves,
+               max_rounds, initial_temp, cooling, moves_per_temp,
+               anneal_trials, polish, compiled, backend_kwargs) -> SearchResult:
+    """Fan out CRC-seeded annealing restarts and merge them deterministically.
+
+    Every field of the merged result is a pure function of the restart
+    outcomes — winner by (score, index), work counters summed in
+    restart order — so the artifact is byte-identical for any ``jobs``.
+    The winner's accepted-move script replays onto a fresh copy to
+    produce the returned circuit.
+    """
+    from .eco import resolve_edit
+    from .portfolio import run_restarts
+
+    start = time.perf_counter()
+    params = {
+        "objective": objective,
+        "backend": backend,
+        "model": model,
+        "po_load": po_load,
+        "retemplate": retemplate,
+        "max_trials": max_trials,
+        "max_moves": max_moves,
+        "max_rounds": max_rounds,
+        "initial_temp": initial_temp,
+        "cooling": cooling,
+        "moves_per_temp": moves_per_temp,
+        "anneal_trials": anneal_trials,
+        "polish": polish,
+        "compiled": compiled,
+        **backend_kwargs,
+    }
+    outcomes = run_restarts(circuit, input_stats, seed, restarts, jobs, params)
+    best = min(outcomes, key=lambda entry: (entry["score"], entry["index"]))
+
+    work = circuit.copy()
+    accepted = [AcceptedMove(**dict(move)) for move in best["moves"]]
+    for move in accepted:
+        work.apply_edit(resolve_edit(work, move.entry))
+    summaries = [
+        {
+            key: entry[key]
+            for key in (
+                "index", "seed", "score", "power_after", "delay_after",
+                "trials", "rounds", "accepted_count", "gates_repropagated",
+                "gates_retimed", "budget_exhausted",
+            )
+        }
+        for entry in outcomes
+    ]
+    return SearchResult(
+        circuit=work,
+        accepted=accepted,
+        net_stats={
+            net: SignalStats(probability, density)
+            for net, probability, density in best["net_stats"]
+        },
+        power_before=best["power_before"],
+        power_after=best["power_after"],
+        delay_before=best["delay_before"],
+        delay_after=best["delay_after"],
+        trials=sum(entry["trials"] for entry in outcomes),
+        rounds=best["rounds"],
+        gates_repropagated=sum(
+            entry["gates_repropagated"] for entry in outcomes),
+        strategy="anneal",
+        objective=objective,
+        seed=seed,
+        backend=best["backend"],
+        budget_exhausted=any(entry["budget_exhausted"] for entry in outcomes),
+        elapsed_s=time.perf_counter() - start,
+        gates_retimed=sum(entry["gates_retimed"] for entry in outcomes),
+        restarts=summaries,
+        restart_index=best["index"],
+        jobs=jobs,
+    )
+
+
 def search_circuit(
     circuit: Optional[Circuit] = None,
     input_stats: Optional[Mapping[str, SignalStats]] = None,
@@ -584,6 +687,9 @@ def search_circuit(
     moves_per_temp: int = 8,
     anneal_trials: Optional[int] = None,
     polish: bool = False,
+    restarts: Optional[int] = None,
+    jobs: int = 1,
+    compiled: Optional[bool] = None,
     **backend_kwargs,
 ) -> SearchResult:
     """Run the delta-driven local search and return the searched circuit.
@@ -601,15 +707,61 @@ def search_circuit(
     consuming the global caps; ``polish=True`` runs a greedy descent
     after annealing (still within the same budgets).
 
+    ``restarts=N`` switches to **portfolio annealing**: N independent
+    restarts seeded from CRC substreams of ``seed``
+    (:func:`repro.incremental.portfolio.restart_seed`), fanned out over
+    ``jobs`` worker processes (each on its own circuit copy and
+    caches) and merged deterministically — best objective score, ties
+    broken by restart index.  ``jobs=N`` alone implies
+    ``restarts=DEFAULT_RESTARTS`` (a fixed count, never derived from
+    ``jobs``).  The merged result carries the winner's trace plus
+    per-restart summaries, and its artifact is byte-identical for any
+    ``jobs`` value.  Portfolio mode needs ``strategy="anneal"`` and an
+    owned circuit (not a live ``cache=``).
+
+    ``compiled`` routes the statistics and timing hot loops through the
+    flat-array kernels of :mod:`repro.compiled` (``None`` defers to the
+    ``REPRO_COMPILED`` environment flag); results are bit-identical
+    either way.
+
     Determinism: for a fixed ``(circuit, input_stats, seed)`` and
     parameters the accepted-move trace — and hence
-    :meth:`SearchResult.to_artifact` minus ``elapsed_s`` — is
+    :meth:`SearchResult.to_artifact` minus ``elapsed_s``/``jobs`` — is
     byte-stable across runs and processes (greedy uses no randomness
     at all; annealing draws from a CRC-stable substream).
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
     resolved = make_objective(objective, delay_weight)
+
+    from .portfolio import DEFAULT_RESTARTS
+
+    if restarts is None and jobs != 1:
+        restarts = DEFAULT_RESTARTS
+    if restarts is not None:
+        if strategy != "anneal":
+            raise ValueError("portfolio restarts need strategy='anneal' "
+                             "(greedy descent is deterministic — every "
+                             "restart would repeat the same search)")
+        if cache is not None:
+            raise TypeError("portfolio restarts need circuit/input_stats, "
+                            "not a live cache=")
+        if circuit is None or input_stats is None:
+            raise TypeError("search_circuit needs circuit and input_stats "
+                            "(or a live cache=)")
+        if restarts < 1:
+            raise ValueError("restarts must be at least 1")
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        return _portfolio(
+            circuit, input_stats, resolved, seed=seed, restarts=restarts,
+            jobs=jobs, backend=backend, model=model, po_load=po_load,
+            retemplate=retemplate, max_trials=max_trials,
+            max_moves=max_moves, max_rounds=max_rounds,
+            initial_temp=initial_temp, cooling=cooling,
+            moves_per_temp=moves_per_temp, anneal_trials=anneal_trials,
+            polish=polish, compiled=compiled, backend_kwargs=backend_kwargs,
+        )
 
     owns_cache = cache is None
     if owns_cache:
@@ -622,14 +774,16 @@ def search_circuit(
             # the backend's per-input sample substreams.
             backend_kwargs.setdefault("seed", seed)
         cache = StatsCache(work, input_stats, backend=backend, model=model,
-                           po_load=po_load, **backend_kwargs)
+                           po_load=po_load, compiled=compiled,
+                           **backend_kwargs)
     else:
         if circuit is not None or input_stats is not None:
             raise TypeError("pass either circuit/input_stats or cache=, not both")
         if (model is not None or backend != "analytic" or backend_kwargs
-                or po_load != DEFAULT_PO_LOAD):
+                or po_load != DEFAULT_PO_LOAD or compiled is not None):
             raise TypeError(
-                "backend/model/po_load arguments conflict with a live cache="
+                "backend/model/po_load/compiled arguments conflict with a "
+                "live cache="
             )
 
     start = time.perf_counter()
@@ -638,7 +792,8 @@ def search_circuit(
     # index and prices every delay read cone-locally (full STA per
     # candidate was the pre-TimingCache behaviour).
     timing = TimingCache(cache.circuit, tech=cache.model.tech,
-                         po_load=cache.po_load, index=cache.index)
+                         po_load=cache.po_load, index=cache.index,
+                         compiled=compiled)
     try:
         state = _Search(cache, timing, resolved, retemplate,
                         max_trials, max_moves)

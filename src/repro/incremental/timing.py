@@ -29,8 +29,10 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..circuit.netlist import Circuit
-from ..circuit.topology import FanoutIndex, topological_gates
+from ..circuit.topology import FanoutIndex
 from ..timing.sta import TimingReport, gate_arrival, net_load, timing_context
 
 __all__ = ["TimingCache"]
@@ -43,35 +45,61 @@ class TimingCache:
     :class:`~repro.incremental.cache.StatsCache`; pass ``index=`` to
     share an existing :class:`FanoutIndex` (the supported edits never
     change connectivity, so one index can serve both caches).
+
+    ``compiled`` routes the initial sweep and every refresh through
+    the flat-array kernels of :mod:`repro.compiled` (``None`` defers
+    to the ``REPRO_COMPILED`` environment flag); arrivals, early
+    cut-off decisions and the :attr:`gates_retimed` counter are
+    bit-identical either way.
     """
 
     def __init__(self, circuit: Circuit,
                  tech=None,
                  po_load: Optional[float] = None,
                  input_arrivals: Optional[Mapping[str, float]] = None,
-                 index: Optional[FanoutIndex] = None):
+                 index: Optional[FanoutIndex] = None,
+                 compiled: Optional[bool] = None):
         if index is None:
             circuit.validate()
-            index = FanoutIndex(circuit)
+            index = circuit.fanout_index()
         self.circuit = circuit
         self.tech, self.po_load = timing_context(tech, po_load)
         self.index = index
-        self._topo = topological_gates(circuit)
+        self._topo = circuit.topo_gates()
         self._topo_index = {g.name: i for i, g in enumerate(self._topo)}
         self._outputs = frozenset(circuit.outputs)
         self._input_arrivals: Dict[str, float] = {
             net: (float(input_arrivals[net]) if input_arrivals else 0.0)
             for net in circuit.inputs
         }
+        from ..compiled.flags import use_compiled
+
+        self._cc = None
+        self._arr = None
+        if use_compiled(compiled):
+            from ..compiled import get_compiled
+
+            self._cc = get_compiled(circuit)
         self._arrivals: Dict[str, float] = dict(self._input_arrivals)
         self._pred: Dict[str, Optional[str]] = {
             net: None for net in circuit.inputs
         }
-        for gate in self._topo:
-            arrival, pred = gate_arrival(gate, self._arrivals, self.tech,
-                                         self._load(gate.output))
-            self._arrivals[gate.output] = arrival
-            self._pred[gate.output] = pred
+        if self._cc is not None:
+            # Flat-array full sweep; the persistent array backs every
+            # later refresh, with the dict view kept in sync for reads.
+            cc = self._cc
+            self._arr, pred_net = cc.arrivals_full(
+                self.tech, self.po_load, self._input_arrivals)
+            for gid, name in enumerate(cc.gate_names):
+                out = cc.num_inputs + gid
+                self._arrivals[cc.nets[out]] = float(self._arr[out])
+                self._pred[cc.nets[out]] = cc.nets[pred_net[gid]]
+        else:
+            for gate in self._topo:
+                arrival, pred = gate_arrival(gate, self._arrivals, self.tech,
+                                             self._load(gate.output))
+                self._arrivals[gate.output] = arrival
+                self._pred[gate.output] = pred
         #: Seed gates awaiting re-propagation (the refresh descends
         #: their cones itself, pruning with early cut-off, so the full
         #: dirty cone is never materialised eagerly).
@@ -108,6 +136,8 @@ class TimingCache:
             return old
         self._input_arrivals[net] = arrival
         self._arrivals[net] = arrival
+        if self._arr is not None:
+            self._arr[self._cc.net_id[net]] = arrival
         self._required = None  # the net may have no sinks to refresh through
         for gate, _pin in self.index.sinks(net):
             self._dirty.add(gate.name)
@@ -151,6 +181,8 @@ class TimingCache:
         """
         if not self._dirty:
             return ()
+        if self._cc is not None:
+            return self._refresh_compiled()
         order = self._topo_index
         heap = [order[name] for name in self._dirty]
         heapq.heapify(heap)
@@ -181,6 +213,59 @@ class TimingCache:
         self.refresh_count += 1
         self._required = None
         return tuple(changed)
+
+    def _refresh_compiled(self) -> Tuple[str, ...]:
+        """The refresh algorithm on flat arrays, batched level by level.
+
+        Same dirty-set semantics and early cut-off as the heap walk —
+        a gate is recomputed iff it was a seed or a predecessor's
+        recomputed arrival changed bit-wise, and both walks settle
+        predecessors before sinks — so the recomputed set, the counter
+        and every arrival are identical; only the batching differs.
+        """
+        cc = self._cc
+        arr = self._arr
+        loads = cc.net_loads(self.tech, self.po_load)
+        frontier: Dict[int, set] = {}
+        queued = set()
+        for name in self._dirty:
+            gid = cc.gate_id[name]
+            queued.add(gid)
+            frontier.setdefault(int(cc.level[gid]), set()).add(gid)
+        self._dirty.clear()
+        recomputed = 0
+        changed_gids: List[int] = []
+        while frontier:
+            level = min(frontier)
+            ids = np.fromiter(frontier.pop(level), dtype=np.int64)
+            gids, out_ids, arrivals, pred_nets = cc.retime_gates(
+                ids, arr, loads, self.tech)
+            recomputed += len(gids)
+            old = arr[out_ids]
+            arr[out_ids] = arrivals
+            moved = arrivals != old
+            for k in range(len(gids)):
+                out_name = cc.nets[int(out_ids[k])]
+                # The latest-arriving pin can shift on an exact tie, so
+                # the predecessor updates even when the arrival did not.
+                self._pred[out_name] = cc.nets[int(pred_nets[k])]
+                if moved[k]:
+                    self._arrivals[out_name] = float(arrivals[k])
+                    changed_gids.append(int(gids[k]))
+                    for sink in cc.gate_sinks(int(gids[k])):
+                        sink = int(sink)
+                        if sink not in queued:
+                            queued.add(sink)
+                            frontier.setdefault(
+                                int(cc.level[sink]), set()).add(sink)
+        self.gates_retimed += recomputed
+        self.refresh_count += 1
+        self._required = None
+        # Heap pops report changed nets in topological order; match it.
+        changed_gids.sort(key=lambda gid: cc.topo_index[gid])
+        return tuple(
+            cc.nets[cc.num_inputs + gid] for gid in changed_gids
+        )
 
     # ------------------------------------------------------------------
     # Reads (lazily refreshing)

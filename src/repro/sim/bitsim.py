@@ -37,7 +37,6 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..circuit.netlist import Circuit, GateInstance
-from ..circuit.topology import topological_gates
 from ..stochastic.signal import SignalStats
 from .stimulus import Stimulus
 
@@ -329,7 +328,7 @@ class BitParallelSimulator:
         self.lanes = lanes
         self.mask = (1 << lanes) - 1
         self._program: List[Tuple[str, Tuple[str, ...], Callable]] = []
-        for gate in topological_gates(circuit):
+        for gate in circuit.topo_gates():
             tt = gate.compiled().output_tt
             fn = _compile_word_function(tt.nvars, tt.bits)
             pin_nets = tuple(gate.pin_nets[pin] for pin in gate.template.pins)

@@ -21,7 +21,7 @@ All return a full net-to-:class:`SignalStats` map; see
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 from ..circuit.netlist import Circuit
 from ..circuit.topology import topological_gates
@@ -66,7 +66,7 @@ def local_stats(circuit: Circuit,
     stats: Dict[str, SignalStats] = {}
     for net in circuit.inputs:
         stats[net] = input_stats[net]
-    for gate in topological_gates(circuit):
+    for gate in circuit.topo_gates():
         stats[gate.output] = local_gate_stats(gate, stats)
     return stats
 
@@ -93,18 +93,24 @@ def exact_stats(circuit: Circuit,
 def propagate_stats(circuit: Circuit,
                     input_stats: Mapping[str, SignalStats],
                     method: str = "local",
+                    compiled: Optional[bool] = None,
                     **sampling_kwargs) -> Dict[str, SignalStats]:
     """Dispatch to :func:`local_stats`, :func:`exact_stats` or sampling.
 
     ``method="sampled"`` forwards ``sampling_kwargs`` (``lanes``,
     ``steps``, ``dt``, ``seed``) to
     :func:`repro.sim.bitsim.sampled_stats`; the analytic engines accept
-    no extra arguments.
+    no extra arguments.  ``compiled`` routes the ``"local"`` sweep
+    through the flat-array kernel of :mod:`repro.compiled` (``None``
+    defers to the ``REPRO_COMPILED`` environment flag); results are
+    bit-identical to :func:`local_stats`.
     """
     missing = [n for n in circuit.inputs if n not in input_stats]
     if missing:
         raise KeyError(f"missing input statistics for {missing}")
     if method == "sampled":
+        if compiled:
+            raise TypeError("the sampled engine has no compiled kernel")
         from ..sim.bitsim import sampled_stats
 
         return sampled_stats(circuit, input_stats, **sampling_kwargs)
@@ -113,6 +119,12 @@ def propagate_stats(circuit: Circuit,
             f"method {method!r} takes no sampling arguments: {sorted(sampling_kwargs)}"
         )
     if method == "local":
+        from ..compiled.flags import use_compiled
+
+        if use_compiled(compiled):
+            from ..compiled import get_compiled
+
+            return get_compiled(circuit).local_stats(input_stats)
         return local_stats(circuit, input_stats)
     if method == "exact":
         return exact_stats(circuit, input_stats)

@@ -31,7 +31,14 @@ from ..gates.library import GateConfig
 from ..gates.network import OUT, CompiledGate
 from ..gates.sptree import Leaf, Parallel, Series, SPTree
 
-__all__ = ["min_path_resistance", "stack_delay", "gate_pin_delay", "gate_worst_delay"]
+__all__ = [
+    "min_path_resistance",
+    "stack_delay_terms",
+    "stack_delay",
+    "gate_pin_delay",
+    "gate_pin_delay_terms",
+    "gate_worst_delay",
+]
 
 LN2 = math.log(2.0)
 
@@ -112,12 +119,17 @@ def _mirror(tree: SPTree) -> SPTree:
     return type(tree)(children)
 
 
-def stack_delay(tree: SPTree, pin: str, output_cap: float,
-                tech: TechParams, ttype: str) -> float:
-    """Elmore delay (seconds) of the output transition caused by ``pin``.
+def stack_delay_terms(tree: SPTree, pin: str, tech: TechParams,
+                      ttype: str) -> Tuple[float, Tuple[float, ...]]:
+    """Load-affine decomposition of :func:`stack_delay`.
 
-    ``tree`` must be oriented output-side first (PDN trees already are;
-    PUN trees are mirrored by the callers below).
+    Returns ``(path_resistance, junction_terms)`` such that the delay
+    for an output capacitance ``C`` is
+    ``ln 2 * (C * path_resistance + Σ junction_terms)`` — accumulated
+    in exactly the order :func:`stack_delay` uses, so precomputing the
+    terms once (as the flat-circuit kernels of :mod:`repro.compiled`
+    do, per configuration and pin) reproduces it bit-for-bit for any
+    load.
     """
     if pin not in sptree.leaves(tree):
         raise KeyError(f"pin {pin!r} not in network {tree}")
@@ -127,10 +139,24 @@ def stack_delay(tree: SPTree, pin: str, output_cap: float,
     suffix = [0.0] * (len(resistances) + 1)
     for i in range(len(resistances) - 1, -1, -1):
         suffix[i] = suffix[i + 1] + resistances[i]
-    tau = output_cap * suffix[0]
-    for j, cap in enumerate(caps):
-        if j < pin_index:  # only junctions above the switching device swing
-            tau += cap * suffix[j + 1]
+    # Only junctions above the switching device swing.
+    terms = tuple(
+        cap * suffix[j + 1] for j, cap in enumerate(caps) if j < pin_index
+    )
+    return suffix[0], terms
+
+
+def stack_delay(tree: SPTree, pin: str, output_cap: float,
+                tech: TechParams, ttype: str) -> float:
+    """Elmore delay (seconds) of the output transition caused by ``pin``.
+
+    ``tree`` must be oriented output-side first (PDN trees already are;
+    PUN trees are mirrored by the callers below).
+    """
+    resistance, terms = stack_delay_terms(tree, pin, tech, ttype)
+    tau = output_cap * resistance
+    for term in terms:
+        tau += term
     return LN2 * tau
 
 
@@ -141,6 +167,20 @@ def gate_pin_delay(gate: CompiledGate, config: GateConfig, pin: str,
     fall = stack_delay(config.pdn, pin, output_cap, tech, "n")
     rise = stack_delay(_mirror(config.pun), pin, output_cap, tech, "p")
     return max(fall, rise)
+
+
+def gate_pin_delay_terms(gate: CompiledGate, config: GateConfig, pin: str,
+                         tech: TechParams):
+    """Both sides of :func:`gate_pin_delay` as load-affine terms.
+
+    Returns ``((fall_resistance, fall_terms), (rise_resistance,
+    rise_terms))`` for :func:`stack_delay_terms`-style evaluation; the
+    output capacitance they apply to is
+    ``gate.terminal_counts[OUT] * c_diff + c_wire + load``.
+    """
+    fall = stack_delay_terms(config.pdn, pin, tech, "n")
+    rise = stack_delay_terms(_mirror(config.pun), pin, tech, "p")
+    return fall, rise
 
 
 def gate_worst_delay(gate: CompiledGate, config: GateConfig,

@@ -17,15 +17,15 @@ for the dirty-set protocol the cache layers on top.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuit.netlist import Circuit, GateInstance
-from ..circuit.topology import topological_gates
 from ..gates.capacitance import TechParams, net_load
 from .elmore import gate_pin_delay
 
 __all__ = [
     "TimingReport",
+    "build_timing_report",
     "analyze_timing",
     "circuit_delay",
     "timing_context",
@@ -89,25 +89,19 @@ class TimingReport:
         return self.arrivals[net]
 
 
-def analyze_timing(circuit: Circuit, tech: Optional[TechParams] = None,
-                   po_load: float = DEFAULT_PO_LOAD,
-                   input_arrivals: Optional[Mapping[str, float]] = None) -> TimingReport:
-    """Compute arrival times for every net and extract the critical path."""
-    tech, po_load = timing_context(tech, po_load)
-    arrivals: Dict[str, float] = {}
-    predecessor: Dict[str, Optional[str]] = {}
-    for net in circuit.inputs:
-        arrivals[net] = float(input_arrivals[net]) if input_arrivals else 0.0
-        predecessor[net] = None
-    outputs = frozenset(circuit.outputs)
-    for gate in topological_gates(circuit):
-        load = net_load(circuit.fanout(gate.output), gate.output in outputs,
-                        tech, po_load)
-        arrival, pred = gate_arrival(gate, arrivals, tech, load)
-        arrivals[gate.output] = arrival
-        predecessor[gate.output] = pred
-    if circuit.outputs:
-        worst_output = max(circuit.outputs, key=lambda n: arrivals[n])
+def build_timing_report(arrivals: Dict[str, float],
+                        predecessor: Mapping[str, Optional[str]],
+                        outputs: Sequence[str]) -> TimingReport:
+    """Fold an arrival/predecessor map into a :class:`TimingReport`.
+
+    The single implementation of worst-output selection (Python
+    ``max`` over ``outputs`` — first output on exact ties) and the
+    predecessor walk, shared by the object-graph sweep below and the
+    compiled kernel (:meth:`repro.compiled.circuit.CompiledCircuit.analyze_timing`)
+    so the two cannot drift apart on tie-breaking or path extraction.
+    """
+    if outputs:
+        worst_output = max(outputs, key=lambda n: arrivals[n])
         delay = arrivals[worst_output]
         path: List[str] = []
         net: Optional[str] = worst_output
@@ -119,6 +113,40 @@ def analyze_timing(circuit: Circuit, tech: Optional[TechParams] = None,
         delay = 0.0
         path = []
     return TimingReport(arrivals, delay, tuple(path))
+
+
+def analyze_timing(circuit: Circuit, tech: Optional[TechParams] = None,
+                   po_load: float = DEFAULT_PO_LOAD,
+                   input_arrivals: Optional[Mapping[str, float]] = None,
+                   compiled: Optional[bool] = None) -> TimingReport:
+    """Compute arrival times for every net and extract the critical path.
+
+    ``compiled`` routes the sweep through the flat-array kernels of
+    :mod:`repro.compiled` (``None`` defers to the ``REPRO_COMPILED``
+    environment flag); results are bit-identical either way.
+    """
+    tech, po_load = timing_context(tech, po_load)
+    from ..compiled.flags import use_compiled
+
+    if use_compiled(compiled):
+        from ..compiled import get_compiled
+
+        return get_compiled(circuit).analyze_timing(tech, po_load,
+                                                    input_arrivals)
+    arrivals: Dict[str, float] = {}
+    predecessor: Dict[str, Optional[str]] = {}
+    for net in circuit.inputs:
+        arrivals[net] = float(input_arrivals[net]) if input_arrivals else 0.0
+        predecessor[net] = None
+    outputs = frozenset(circuit.outputs)
+    index = circuit.fanout_index()
+    for gate in circuit.topo_gates():
+        load = net_load(index.sinks(gate.output), gate.output in outputs,
+                        tech, po_load)
+        arrival, pred = gate_arrival(gate, arrivals, tech, load)
+        arrivals[gate.output] = arrival
+        predecessor[gate.output] = pred
+    return build_timing_report(arrivals, predecessor, circuit.outputs)
 
 
 def circuit_delay(circuit: Circuit, tech: Optional[TechParams] = None,

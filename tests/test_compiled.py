@@ -1,0 +1,323 @@
+"""Bit-identity of the compiled flat-circuit kernels (`repro.compiled`).
+
+The contract under test: every kernel — from-scratch analytic (P, D)
+propagation, net loads, arrival times, and the dirty-cone incremental
+forms behind `StatsCache`/`TimingCache` — produces **bit-identical**
+results (exact float equality) to the object-graph path, over random
+circuits and random reorder/retemplate/input-stats/input-arrival edit
+sequences.  Plus the memoised-structure satellite (FanoutIndex /
+topological order shared across caches with invalidation hooks) and
+the numpy summation-order canary the kernels rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import random_logic
+from repro.bench.suite import get_case
+from repro.compiled import CompiledCircuit, get_compiled, use_compiled
+from repro.compiled.backend import CompiledAnalyticBackend
+from repro.compiled.circuit import _rowwise_selected_sum
+from repro.gates.library import default_library
+from repro.incremental import StatsCache, TimingCache, make_backend, search_circuit
+from repro.incremental.backends import AnalyticBackend
+from repro.bench.runner import dumps_artifact, strip_timing
+from repro.sim.stimulus import ScenarioA
+from repro.stochastic.density import local_stats, propagate_stats
+from repro.stochastic.signal import SignalStats
+from repro.synth.mapper import map_circuit
+from repro.timing.sta import analyze_timing
+
+_SWAP_GROUPS = {}
+for _template in default_library():
+    _SWAP_GROUPS.setdefault(_template.pins, []).append(_template.name)
+_SWAP_GROUPS = {
+    pins: names for pins, names in _SWAP_GROUPS.items() if len(names) > 1
+}
+
+
+@pytest.fixture(scope="module")
+def master():
+    circuit = map_circuit(get_case("rca4").network())
+    stats = ScenarioA(seed=5).input_stats(circuit.inputs)
+    return circuit, stats
+
+
+@pytest.fixture(scope="module")
+def wide():
+    """A wider random circuit: many gates per level, all templates."""
+    circuit = map_circuit(random_logic(12, 60, seed=9))
+    stats = ScenarioA(seed=2).input_stats(circuit.inputs)
+    return circuit, stats
+
+
+def assert_timing_equal(circuit, input_arrivals=None):
+    reference = analyze_timing(circuit, input_arrivals=input_arrivals,
+                               compiled=False)
+    compiled = analyze_timing(circuit, input_arrivals=input_arrivals,
+                              compiled=True)
+    assert compiled.arrivals == reference.arrivals
+    assert compiled.delay == reference.delay
+    assert compiled.critical_path == reference.critical_path
+
+
+# ----------------------------------------------------------------------
+# The numpy contract the kernels stand on
+# ----------------------------------------------------------------------
+class TestSummationOrder:
+    def test_rowwise_selected_sum_matches_1d_sums(self):
+        """Batched masked sums must replay numpy's 1-D pairwise order.
+
+        Library truth tables select at most 2**6 minterms; if a numpy
+        upgrade ever changes its 1-D reduction order, this canary (and
+        the equivalence suites below) fails before any silent drift.
+        """
+        rng = np.random.default_rng(0)
+        for width in range(1, 65):
+            block = rng.random((5, width + 3))
+            selection = np.sort(
+                rng.choice(width + 3, size=width, replace=False))
+            batched = _rowwise_selected_sum(block, selection)
+            for row in range(len(block)):
+                assert batched[row] == block[row, selection].sum(), \
+                    f"order drift at width {width}"
+
+    def test_empty_selection_sums_to_zero(self):
+        block = np.ones((4, 8))
+        assert np.array_equal(
+            _rowwise_selected_sum(block, np.array([], dtype=np.int64)),
+            np.zeros(4),
+        )
+
+
+# ----------------------------------------------------------------------
+# From-scratch equivalence
+# ----------------------------------------------------------------------
+class TestFromScratch:
+    def test_stats_bit_identical(self, master, wide):
+        for circuit, stats in (master, wide):
+            assert propagate_stats(circuit, stats, "local", compiled=True) \
+                == local_stats(circuit, stats)
+
+    def test_timing_bit_identical(self, master, wide):
+        for circuit, _ in (master, wide):
+            assert_timing_equal(circuit)
+
+    def test_timing_with_input_arrivals(self, master):
+        circuit, _ = master
+        arrivals = {net: 1e-10 * i for i, net in enumerate(circuit.inputs)}
+        assert_timing_equal(circuit, input_arrivals=arrivals)
+
+    def test_net_loads_bit_identical(self, master):
+        circuit, _ = master
+        from repro.gates.capacitance import TechParams
+
+        tech = TechParams()
+        compiled = get_compiled(circuit)
+        loads = compiled.net_loads(tech, 10.0e-15)
+        for net in circuit.nets():
+            assert loads[compiled.net_id[net]] == circuit.output_load(
+                net, tech, 10.0e-15)
+
+    def test_direct_config_mutation_is_picked_up(self, master):
+        """Batch kernels resync codes for edits outside the edit API."""
+        circuit, stats = master
+        work = circuit.copy()
+        get_compiled(work)  # lower before mutating behind its back
+        gate = next(g for g in work.gates
+                    if g.template.num_configurations() > 1)
+        gate.config = gate.template.configurations()[-1]
+        assert_timing_equal(work)
+        assert propagate_stats(work, stats, "local", compiled=True) \
+            == local_stats(work, stats)
+
+
+# ----------------------------------------------------------------------
+# Edit-sequence equivalence (the incremental kernels)
+# ----------------------------------------------------------------------
+def edit_specs():
+    return st.tuples(
+        st.sampled_from(
+            ["reorder", "retemplate", "input-stats", "input-arrival"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+
+
+def apply_spec(circuit, cache, tcache, input_stats, spec):
+    kind, selector, value = spec
+    if kind == "reorder":
+        gates = [g for g in circuit.gates
+                 if g.template.num_configurations() > 1]
+        gate = gates[selector % len(gates)]
+        configurations = gate.template.configurations()
+        circuit.set_config(gate.name,
+                           configurations[value % len(configurations)])
+    elif kind == "retemplate":
+        gates = [g for g in circuit.gates if g.template.pins in _SWAP_GROUPS]
+        gate = gates[selector % len(gates)]
+        group = _SWAP_GROUPS[gate.template.pins]
+        others = [name for name in group if name != gate.template.name]
+        circuit.set_template(gate.name, others[value % len(others)])
+    elif kind == "input-stats":
+        net = circuit.inputs[selector % len(circuit.inputs)]
+        probability = 0.05 + 0.9 * ((value % 97) / 96.0)
+        density = 1.0e4 * (1 + value % 89)
+        input_stats[net] = SignalStats(probability, density)
+        cache.set_input_stats(net, input_stats[net])
+    else:
+        net = circuit.inputs[selector % len(circuit.inputs)]
+        tcache.set_input_arrival(net, 1.0e-12 * (value % 503))
+
+
+class TestEditEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(edit_specs(), min_size=1, max_size=8))
+    def test_compiled_caches_match_scratch_after_every_edit(self, master,
+                                                           specs):
+        circuit_master, stats = master
+        circuit = circuit_master.copy()
+        current = dict(stats)
+        cache = StatsCache(circuit, current, compiled=True)
+        tcache = TimingCache(circuit, index=cache.index, compiled=True)
+        try:
+            assert isinstance(cache.backend, CompiledAnalyticBackend)
+            for spec in specs:
+                apply_spec(circuit, cache, tcache, current, spec)
+                assert cache.stats() == propagate_stats(
+                    circuit, current, "local")
+                reference = analyze_timing(
+                    circuit, input_arrivals=tcache.input_arrivals,
+                    compiled=False)
+                assert tcache.arrivals() == reference.arrivals
+                assert tcache.delay() == reference.delay
+                assert tcache.critical_path() == reference.critical_path
+        finally:
+            tcache.close()
+            cache.close()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(edit_specs(), min_size=1, max_size=6))
+    def test_compiled_retime_counts_match_object_path(self, master, specs):
+        """Early cut-off must recompute the same set either way."""
+        circuit_master, stats = master
+        circuit = circuit_master.copy()
+        current = dict(stats)
+        cache = StatsCache(circuit, current, compiled=False)
+        tcache = TimingCache(circuit, index=cache.index, compiled=True)
+        ref = TimingCache(circuit, index=cache.index, compiled=False)
+        try:
+            for spec in specs:
+                if spec[0] == "input-arrival":
+                    # keep both caches on identical input arrivals
+                    net = circuit.inputs[spec[1] % len(circuit.inputs)]
+                    ref.set_input_arrival(net, 1.0e-12 * (spec[2] % 503))
+                apply_spec(circuit, cache, tcache, current, spec)
+                changed = tcache.refresh()
+                assert changed == ref.refresh()
+                assert tcache.gates_retimed == ref.gates_retimed
+        finally:
+            ref.close()
+            tcache.close()
+            cache.close()
+
+
+# ----------------------------------------------------------------------
+# Integration: the search engine on compiled kernels
+# ----------------------------------------------------------------------
+class TestSearchIntegration:
+    def test_greedy_search_artifact_identical(self, master):
+        circuit, stats = master
+        plain = search_circuit(circuit, stats, objective="power-delay",
+                               seed=3, compiled=False)
+        flat = search_circuit(circuit, stats, objective="power-delay",
+                              seed=3, compiled=True)
+        assert dumps_artifact(strip_timing(plain.to_artifact())) \
+            == dumps_artifact(strip_timing(flat.to_artifact()))
+
+    def test_anneal_search_artifact_identical(self, master):
+        circuit, stats = master
+        plain = search_circuit(circuit, stats, strategy="anneal", seed=11,
+                               anneal_trials=60, compiled=False)
+        flat = search_circuit(circuit, stats, strategy="anneal", seed=11,
+                              anneal_trials=60, compiled=True)
+        assert dumps_artifact(strip_timing(plain.to_artifact())) \
+            == dumps_artifact(strip_timing(flat.to_artifact()))
+
+
+# ----------------------------------------------------------------------
+# Feature flag
+# ----------------------------------------------------------------------
+class TestFlag:
+    def test_explicit_overrides(self):
+        assert use_compiled(True) is True
+        assert use_compiled(False) is False
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        assert use_compiled(None) is False
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert use_compiled(None) is True
+        assert isinstance(make_backend("analytic"), CompiledAnalyticBackend)
+        monkeypatch.setenv("REPRO_COMPILED", "off")
+        assert use_compiled(None) is False
+        backend = make_backend("analytic")
+        assert isinstance(backend, AnalyticBackend)
+        assert not isinstance(backend, CompiledAnalyticBackend)
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "maybe")
+        with pytest.raises(ValueError):
+            use_compiled(None)
+
+    def test_compiled_backend_keeps_the_analytic_name(self):
+        assert CompiledAnalyticBackend().name == "analytic"
+
+    def test_sampled_rejects_explicit_compiled(self):
+        with pytest.raises(TypeError):
+            make_backend("sampled", compiled=True)
+
+
+# ----------------------------------------------------------------------
+# Memoised structure (FanoutIndex / topo order / levels)
+# ----------------------------------------------------------------------
+class TestStructureMemo:
+    def test_two_caches_share_one_index(self, master):
+        circuit, stats = master
+        work = circuit.copy()
+        with StatsCache(work, stats) as cache:
+            with TimingCache(work) as tcache:
+                assert cache.index is tcache.index
+                assert cache.index is work.fanout_index()
+
+    def test_topo_and_levels_are_memoised(self, master):
+        circuit, _ = master
+        work = circuit.copy()
+        assert work.topo_gates() is work.topo_gates()
+        assert work.gate_levels() is work.gate_levels()
+
+    def test_structural_mutation_invalidates(self, master):
+        circuit, _ = master
+        work = circuit.copy()
+        index = work.fanout_index()
+        compiled = get_compiled(work)
+        assert get_compiled(work) is compiled
+        source = work.inputs[0]
+        work.add_gate("fresh_inv", "inv", {"a": source}, "fresh_net")
+        assert work.fanout_index() is not index
+        rebuilt = get_compiled(work)
+        assert rebuilt is not compiled
+        assert "fresh_inv" in rebuilt.gate_id
+
+    def test_edits_keep_the_memo(self, master):
+        circuit, _ = master
+        work = circuit.copy()
+        index = work.fanout_index()
+        compiled = get_compiled(work)
+        gate = next(g for g in work.gates
+                    if g.template.num_configurations() > 1)
+        work.set_config(gate.name, gate.template.configurations()[-1])
+        assert work.fanout_index() is index
+        assert get_compiled(work) is compiled

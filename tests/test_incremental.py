@@ -290,6 +290,48 @@ class TestStatsCacheSampled:
             StatsCache(circuit, stats, backend="sampled", lanes=8, steps=4,
                        dt=1.0e9)
 
+    def test_substreams_drawn_once_per_distinct_stats(self, adder,
+                                                      monkeypatch):
+        # The inner-loop fix: toggling an input's statistics back and
+        # forth (the WhatIf apply/rollback pattern) must not redraw a
+        # stream the run has already materialised — and the cached
+        # words must keep the bit-identity contract intact.
+        import repro.incremental.backends as backends_module
+
+        calls = []
+        real = backends_module.markov_stream_words
+
+        def counting(stats, lanes, steps, dt, rng):
+            calls.append(stats)
+            return real(stats, lanes, steps, dt, rng)
+
+        monkeypatch.setattr(backends_module, "markov_stream_words", counting)
+        circuit, stats = adder
+        dwells = [
+            d for s in stats.values()
+            for d in (s.mean_high_dwell, s.mean_low_dwell)
+        ]
+        dt = 0.2 * min(dwells)
+        current = dict(stats)
+        with StatsCache(circuit, stats, backend="sampled", lanes=self.LANES,
+                        steps=self.STEPS, dt=dt, seed=self.SEED) as cache:
+            cache.stats()
+            drawn_at_full = len(calls)
+            assert drawn_at_full == len(circuit.inputs)
+            net = circuit.inputs[0]
+            edited = SignalStats(0.6, current[net].density)
+            for _ in range(3):  # apply/rollback, three times over
+                cache.set_input_stats(net, edited)
+                cache.stats()
+                cache.set_input_stats(net, current[net])
+                cache.stats()
+            # one new draw for the edited stats; every rollback (and
+            # re-apply) comes from the cache
+            assert len(calls) == drawn_at_full + 1
+            current[net] = edited
+            cache.set_input_stats(net, edited)
+            assert cache.stats() == self.fresh(circuit, current, dt)
+
 
 class TestMakeBackend:
     def test_names_resolve(self):
