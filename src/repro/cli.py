@@ -128,6 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--out", metavar="PATH",
                     help="write the JSON result artifact here")
 
+    from .incremental.portfolio import DEFAULT_RESTARTS
+
     ps = sub.add_parser(
         "search",
         help="delta-driven ECO local search over the incremental engine",
@@ -164,8 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--restarts", type=_positive_int, default=None,
                     help="portfolio mode: run this many CRC-seeded "
                          "annealing restarts and keep the best "
-                         "(default 4 when --jobs is given; requires "
-                         "--strategy anneal)")
+                         f"(default {DEFAULT_RESTARTS} when --jobs is "
+                         "given; requires --strategy anneal)")
     ps.add_argument("--jobs", type=_positive_int, default=None,
                     help="worker processes for the restart portfolio; "
                          "results are identical across --jobs values "

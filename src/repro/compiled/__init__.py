@@ -10,6 +10,12 @@ path (the equivalence contract ``tests/test_compiled.py`` locks).
 Consumers opt in per call with ``compiled=True`` or globally with the
 ``REPRO_COMPILED`` environment flag; see ``README.md`` in this
 directory for the lowering, the SoA layout, and the contract.
+
+The sampled twin (:mod:`repro.compiled.sampled`: uint64-blocked lane
+streams), the power kernel (:mod:`repro.compiled.power`: class-batched
+gate power) and the analytic backend (:mod:`repro.compiled.backend`)
+import :mod:`repro.incremental` and therefore stay out of this
+package-level namespace — import them by module.
 """
 
 from .circuit import CompiledCircuit, get_compiled

@@ -125,10 +125,13 @@ def _rowwise_selected_sum(weights: np.ndarray,
 class _StatsClass:
     """Per-template data of the (P, D) kernel (function, not ordering)."""
 
-    __slots__ = ("arity", "mat", "const_p", "out_sel", "pin_diffs")
+    __slots__ = ("arity", "mat", "const_p", "out_sel", "pin_diffs", "tt_bits")
 
     def __init__(self, output_tt: TruthTable):
         self.arity = output_tt.nvars
+        #: Dense truth-table bits — the sampled kernel keys its word
+        #: evaluators (bitsim._compile_word_function) on (arity, bits).
+        self.tt_bits = output_tt.bits
         self.mat = _minterm_matrix(self.arity) if self.arity else None
         if self.arity == 0 or output_tt.is_constant():
             self.const_p: Optional[float] = 1.0 if output_tt.bits else 0.0

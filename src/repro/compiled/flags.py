@@ -28,11 +28,8 @@ _TRUE = frozenset(("1", "true", "yes", "on"))
 _FALSE = frozenset(("", "0", "false", "no", "off"))
 
 
-def compiled_default() -> bool:
-    """The ambient default: the ``REPRO_COMPILED`` environment flag."""
-    value = os.environ.get(ENV_VAR)
-    if value is None:
-        return False
+def _parse(value: str) -> bool:
+    """One boolean spelling -> bool; raises on anything unrecognised."""
     lowered = value.strip().lower()
     if lowered in _TRUE:
         return True
@@ -44,8 +41,24 @@ def compiled_default() -> bool:
     )
 
 
+def compiled_default() -> bool:
+    """The ambient default: the ``REPRO_COMPILED`` environment flag."""
+    value = os.environ.get(ENV_VAR)
+    if value is None:
+        return False
+    return _parse(value)
+
+
 def use_compiled(explicit: Optional[bool] = None) -> bool:
-    """Resolve one call's ``compiled`` argument against the ambient flag."""
+    """Resolve one call's ``compiled`` argument against the ambient flag.
+
+    Strings parse through the same spellings as the environment flag —
+    a caller forwarding ``compiled="0"`` (say, straight from its own
+    environment or argv) means *off*, and ``bool("0")`` silently meant
+    *on* before this guard.
+    """
     if explicit is None:
         return compiled_default()
+    if isinstance(explicit, str):
+        return _parse(explicit)
     return bool(explicit)

@@ -1,0 +1,386 @@
+"""Vectorized bit-parallel sampling on uint64 lane blocks.
+
+The sampled estimator of :mod:`repro.sim.bitsim` packs ``W`` Monte
+Carlo lanes into one Python big int per (net, step) and settles gates
+one at a time in pure Python.  This module re-lays those streams into
+a ``(steps, lanes/64)`` uint64-blocked numpy layout — bit ``k`` of a
+stream is bit ``k % 64`` of little-endian word ``k // 64``, the exact
+byte layout of ``int.to_bytes(..., "little")`` — and evaluates each
+(level, class) gate batch of a :class:`~repro.compiled.circuit.CompiledCircuit`
+with elementwise ``np.bitwise_*`` reductions.
+
+**Bit-identity.**  The Shannon word evaluators of
+:func:`repro.sim.bitsim._compile_word_function` use only ``&``, ``|``,
+``~`` and the lane mask, so the very same memoised closures run here
+on uint64 ndarrays (the operators are elementwise and exact); the
+Markov input streams are drawn from the identical
+:func:`~repro.sim.bitsim.stream_rng` substreams with the identical
+``rng.random(lanes)`` call sequence, then packed with the same
+little-endian ``np.packbits`` convention as
+``repro.sim.bitsim._word_from_bools``.  Ones/toggle counts are
+therefore integer-equal to the big-int path, and the derived
+:class:`~repro.sim.bitsim.BitSimReport` statistics are float-equal.
+
+Entry points:
+
+* :class:`SampledKernel` — the raw ``(nets, steps, blocks)`` history
+  with full settling and dirty-cone resettling;
+* :class:`CompiledSampledBackend` — the :class:`StatsCache` backend
+  (``make_backend("sampled", compiled=True)``), a drop-in for
+  :class:`~repro.incremental.backends.SampledBackend`;
+* :func:`compiled_sampled_stats` — the
+  ``propagate_stats(method="sampled", compiled=True)`` engine,
+  bit-identical to :func:`repro.sim.bitsim.sampled_stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from ..circuit.netlist import Circuit
+from ..sim.bitsim import (
+    DEFAULT_LANES,
+    BitSimReport,
+    _compile_word_function,
+    _resolve_rng,
+    stream_rng,
+)
+from ..stochastic.signal import SignalStats
+from .circuit import CompiledCircuit, get_compiled
+
+__all__ = [
+    "blocks_for_lanes",
+    "lane_mask_blocks",
+    "pack_lane_bools",
+    "blocks_from_int",
+    "int_from_blocks",
+    "markov_stream_blocks",
+    "SampledKernel",
+    "CompiledSampledBackend",
+    "compiled_sampled_stats",
+]
+
+#: uint64 words per stream step for a given lane count.
+def blocks_for_lanes(lanes: int) -> int:
+    return (lanes + 63) // 64
+
+
+def lane_mask_blocks(lanes: int) -> np.ndarray:
+    """The ``(1 << lanes) - 1`` lane mask as a ``(blocks,)`` uint64 row."""
+    blocks = blocks_for_lanes(lanes)
+    mask = np.full(blocks, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    tail = lanes % 64
+    if tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_lane_bools(values: np.ndarray, blocks: int) -> np.ndarray:
+    """Pack a boolean lane vector into ``(blocks,)`` uint64 words.
+
+    Element ``k`` lands on bit ``k % 64`` of word ``k // 64`` — the
+    little-endian convention of ``bitsim._word_from_bools``, so
+    ``int_from_blocks(pack_lane_bools(v, b)) == _word_from_bools(v)``.
+    """
+    packed = np.packbits(values.astype(np.uint8), bitorder="little")
+    buffer = np.zeros(blocks * 8, dtype=np.uint8)
+    buffer[: len(packed)] = packed
+    return buffer.view(np.dtype("<u8"))
+
+
+def blocks_from_int(word: int, blocks: int) -> np.ndarray:
+    """One big-int packed word as a ``(blocks,)`` uint64 row."""
+    data = word.to_bytes(blocks * 8, "little")
+    return np.frombuffer(data, dtype=np.dtype("<u8")).copy()
+
+
+def int_from_blocks(row: np.ndarray) -> int:
+    """The big-int form of a ``(blocks,)`` uint64 row."""
+    return int.from_bytes(
+        np.ascontiguousarray(row, dtype=np.dtype("<u8")).tobytes(), "little"
+    )
+
+
+def _bernoulli_blocks(rng: np.random.Generator, p: float, lanes: int,
+                      blocks: int) -> np.ndarray:
+    # The identical rng.random(lanes) draw bitsim._bernoulli_word makes.
+    return pack_lane_bools(rng.random(lanes) < p, blocks)
+
+
+def markov_stream_blocks(stats: SignalStats, lanes: int, steps: int,
+                         dt: float, rng: np.random.Generator) -> np.ndarray:
+    """``(steps, blocks)`` uint64 form of one input's Markov chain.
+
+    Draws the identical random sequence as
+    :func:`repro.sim.bitsim.markov_stream_words` — stationary initial
+    word, then per-step fall/rise flips — so
+    ``int_from_blocks(result[k]) == markov_stream_words(...)[k]`` for
+    every step, given the same ``rng`` state.
+    """
+    high, low = stats.mean_high_dwell, stats.mean_low_dwell
+    if np.isfinite(high) and dt > min(high, low):
+        raise ValueError(
+            f"dt={dt:g} too coarse: per-step toggle probability exceeds 1 "
+            f"(mean dwells are {high:g}/{low:g})"
+        )
+    blocks = blocks_for_lanes(lanes)
+    mask = lane_mask_blocks(lanes)
+    word = _bernoulli_blocks(rng, stats.probability, lanes, blocks)
+    out = np.empty((steps, blocks), dtype=np.uint64)
+    out[0] = word
+    for k in range(1, steps):
+        if np.isfinite(high):
+            fall = _bernoulli_blocks(rng, dt / high, lanes, blocks)
+            rise = _bernoulli_blocks(rng, dt / low, lanes, blocks)
+            word = word ^ ((word & fall) | (~word & mask & rise))
+        out[k] = word
+    return out
+
+
+class SampledKernel:
+    """The vectorized word-stream state of one compiled circuit.
+
+    ``hist[net_id]`` is the net's ``(steps, blocks)`` packed stream —
+    the array twin of :meth:`BitParallelSimulator.settle_streams`'s
+    per-net big-int lists.  Gate evaluation is batched by the compiled
+    circuit's (level, stats-class) plan: every gate of a class shares
+    one Shannon word evaluator, which runs elementwise on the whole
+    ``(gates, steps, blocks)`` fanin stack at once.
+    """
+
+    def __init__(self, cc: CompiledCircuit, lanes: int, steps: int):
+        if lanes < 1:
+            raise ValueError("need at least one sample lane")
+        if steps < 1:
+            raise ValueError("need at least one time step")
+        self.cc = cc
+        self.lanes = lanes
+        self.steps = steps
+        self.blocks = blocks_for_lanes(lanes)
+        self.mask = lane_mask_blocks(lanes)
+        self.hist = np.zeros((len(cc.nets), steps, self.blocks),
+                             dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    def set_input_stream(self, net: str, stream: np.ndarray) -> None:
+        """Bind one primary input's ``(steps, blocks)`` stream."""
+        if stream.shape != (self.steps, self.blocks):
+            raise ValueError(
+                f"stream for {net!r} has shape {stream.shape}; "
+                f"expected {(self.steps, self.blocks)}"
+            )
+        self.hist[self.cc.net_id[net]] = stream
+
+    def _settle_group(self, cls, ids: np.ndarray, fanin: np.ndarray) -> None:
+        # The memoised big-int Shannon closure runs unchanged on uint64
+        # ndarrays: &, |, ~ and the mask are elementwise and exact.
+        fn = _compile_word_function(cls.arity, cls.tt_bits)
+        words = [self.hist[fanin[:, j]] for j in range(cls.arity)]
+        out = fn(words, self.mask)
+        shape = (len(ids), self.steps, self.blocks)
+        # Constant functions come back as the scalar 0 or the (blocks,)
+        # mask row; broadcast either to the full batch shape.
+        out = np.broadcast_to(np.asarray(out, dtype=np.uint64), shape)
+        self.hist[self.cc.out_net[ids]] = out
+
+    def settle_full(self, streams: Mapping[str, np.ndarray]) -> None:
+        """Settle every net from per-input streams (from-scratch sweep)."""
+        cc = self.cc
+        cc._sync_codes()
+        for net in cc.circuit.inputs:
+            self.set_input_stream(net, streams[net])
+        for cls, ids, fanin in cc._stats_full_plan():
+            self._settle_group(cls, ids, fanin)
+
+    def resettle(self, gate_ids: np.ndarray) -> None:
+        """Recompute the given gates' streams in place (dirty cone).
+
+        Level-batched like
+        :meth:`~repro.compiled.circuit.CompiledCircuit.resettle_stats`:
+        each gate reads already-updated fanin streams, exactly as the
+        topological :meth:`BitParallelSimulator.resettle` walk would,
+        so the rebuilt streams are bit-identical.
+        """
+        if not len(gate_ids):
+            return
+        cc = self.cc
+        levels = cc.level[gate_ids]
+        order = np.argsort(levels, kind="stable")
+        sorted_ids = gate_ids[order]
+        boundaries = np.flatnonzero(np.diff(levels[order])) + 1
+        for chunk in np.split(sorted_ids, boundaries):
+            codes = cc.stats_code[chunk]
+            for code in np.unique(codes):
+                sub = chunk[codes == code]
+                cls = cc._stats_classes[code]
+                self._settle_group(cls, sub, cc._fanin_matrix(sub, cls.arity))
+
+    # ------------------------------------------------------------------
+    def counts(self, net_ids: Iterable[int]) -> tuple:
+        """``(ones, toggles)`` per net name — integer-equal to the
+        big-int path's ``bit_count`` sums."""
+        ones: Dict[str, int] = {}
+        toggles: Dict[str, int] = {}
+        nets = self.cc.nets
+        for i in net_ids:
+            words = self.hist[i]
+            ones[nets[i]] = int(
+                np.bitwise_count(words).sum(dtype=np.int64))
+            toggles[nets[i]] = int(
+                np.bitwise_count(words[1:] ^ words[:-1]).sum(dtype=np.int64))
+        return ones, toggles
+
+    def report(self, net_ids: Iterable[int], dt: float) -> BitSimReport:
+        """Fold the given nets' streams into a :class:`BitSimReport`."""
+        ones, toggles = self.counts(net_ids)
+        return BitSimReport(self.lanes, self.steps, dt, ones, toggles)
+
+
+# ----------------------------------------------------------------------
+# The StatsCache backend
+# ----------------------------------------------------------------------
+from ..incremental.backends import SampledBackend  # noqa: E402  (cycle-free:
+# backends does not import this module at top level)
+
+
+class CompiledSampledBackend(SampledBackend):
+    """Monte Carlo measurement on uint64 lane blocks; bit-identical.
+
+    A subclass — not a sibling — of :class:`SampledBackend` for the
+    same reason :class:`~repro.compiled.backend.CompiledAnalyticBackend`
+    subclasses the analytic backend: it computes the same function
+    under the same ``name``, so artifacts and backend checks are
+    unaffected by which engine produced the numbers.  The stream cache
+    holds ``(steps, blocks)`` uint64 arrays instead of big-int lists;
+    substreams, packing and counts match the object path bit for bit.
+    """
+
+    name = "sampled"
+    compiled = True
+
+    def __init__(self, lanes: int = DEFAULT_LANES, steps: int = 64,
+                 dt: Optional[float] = None, seed: int = 0):
+        super().__init__(lanes=lanes, steps=steps, dt=dt, seed=seed)
+        self._kernel: Optional[SampledKernel] = None
+
+    def _input_stream(self, net: str, stats) -> np.ndarray:
+        """The net's packed stream array, drawn once per distinct (P, D).
+
+        Same cache discipline as the big-int backend: regeneration is
+        deterministic (``stream_rng`` rebuilds from ``(seed, net)``),
+        so caching changes nothing bit-wise — it keeps trial rollbacks
+        from redrawing streams the run has already seen.
+        """
+        key = (net, stats.probability, stats.density)
+        stream = self._stream_cache.get(key)
+        if stream is None:
+            stream = markov_stream_blocks(
+                stats, self.lanes, self.steps, self.dt,
+                stream_rng(self.seed, net),
+            )
+            self._stream_cache[key] = stream
+        return stream
+
+    def full(self, circuit, input_stats):
+        self.dt = self._resolve_dt(circuit, input_stats)
+        self._stream_cache.clear()  # dt may have changed; old words are stale
+        circuit.validate()
+        self._kernel = SampledKernel(get_compiled(circuit), self.lanes,
+                                     self.steps)
+        streams = {
+            net: self._input_stream(net, input_stats[net])
+            for net in circuit.inputs
+        }
+        self._kernel.settle_full(streams)
+        report = self._kernel.report(range(len(self._kernel.cc.nets)), self.dt)
+        return report.stats_map()
+
+    def update(self, circuit, dirty_gates, input_stats, changed_inputs,
+               net_stats):
+        kernel = self._kernel
+        if kernel is None:
+            raise RuntimeError("update() before full()")
+        cc = kernel.cc
+        for net in changed_inputs:
+            kernel.set_input_stream(net, self._input_stream(net,
+                                                            input_stats[net]))
+        gate_ids = np.fromiter(
+            (cc.gate_id[g.name] for g in dirty_gates),
+            dtype=np.int64, count=len(dirty_gates),
+        )
+        kernel.resettle(gate_ids)
+        updated = [cc.net_id[net] for net in changed_inputs]
+        updated.extend(int(cc.out_net[gid]) for gid in gate_ids)
+        report = kernel.report(updated, self.dt)
+        return {net: report.measured_stats(net) for net in report.ones}
+
+
+# ----------------------------------------------------------------------
+# The propagate_stats(method="sampled") engine
+# ----------------------------------------------------------------------
+def compiled_sampled_stats(circuit: Circuit,
+                           input_stats: Mapping[str, SignalStats],
+                           lanes: int = DEFAULT_LANES, steps: int = 64,
+                           dt: Optional[float] = None,
+                           seed: Optional[int] = 0) -> Dict[str, SignalStats]:
+    """Drop-in for :func:`repro.sim.bitsim.sampled_stats`, vectorized.
+
+    Replays :meth:`BitParallelSimulator.run`'s shared-stream draw order
+    exactly — initial Bernoulli words for every input in declaration
+    order, then per step per input a fall and a rise word — so the
+    measured statistics are bit-identical to the big-int path.
+    """
+    circuit.validate()
+    missing = [n for n in circuit.inputs if n not in input_stats]
+    if missing:
+        raise KeyError(f"missing input statistics for {missing}")
+    if steps < 1:
+        raise ValueError("need at least one time step")
+    rng = _resolve_rng(seed)
+
+    dwells = {}
+    shortest = np.inf
+    for net in circuit.inputs:
+        stats = input_stats[net]
+        high, low = stats.mean_high_dwell, stats.mean_low_dwell
+        dwells[net] = (high, low)
+        shortest = min(shortest, high, low)
+    if dt is None:
+        dt = 0.5 * shortest if np.isfinite(shortest) else 1.0
+    if dt <= 0.0:
+        raise ValueError("dt must be positive")
+    if dt > shortest:
+        raise ValueError(
+            f"dt={dt:g} too coarse: per-step toggle probability exceeds 1 "
+            f"(shortest mean dwell is {shortest:g})"
+        )
+
+    blocks = blocks_for_lanes(lanes)
+    mask = lane_mask_blocks(lanes)
+    streams = {
+        net: np.empty((steps, blocks), dtype=np.uint64)
+        for net in circuit.inputs
+    }
+    words = {
+        net: _bernoulli_blocks(rng, input_stats[net].probability, lanes,
+                               blocks)
+        for net in circuit.inputs
+    }
+    for net in circuit.inputs:
+        streams[net][0] = words[net]
+    for k in range(1, steps):
+        for net in circuit.inputs:
+            high, low = dwells[net]
+            if np.isfinite(high):
+                word = words[net]
+                fall = _bernoulli_blocks(rng, dt / high, lanes, blocks)
+                rise = _bernoulli_blocks(rng, dt / low, lanes, blocks)
+                words[net] = word ^ ((word & fall) | (~word & mask & rise))
+            streams[net][k] = words[net]
+
+    kernel = SampledKernel(get_compiled(circuit), lanes, steps)
+    kernel.settle_full(streams)
+    report = kernel.report(range(len(kernel.cc.nets)), dt)
+    return report.stats_map()

@@ -200,9 +200,10 @@ def make_backend(backend, compiled: Optional[bool] = None,
     when ``compiled`` resolves true (``None`` defers to the
     ``REPRO_COMPILED`` environment flag; results are bit-identical
     either way).  ``"sampled"`` selects :class:`SampledBackend`
-    (forwarding ``lanes``/``steps``/``dt``/``seed``); it has no
-    compiled kernel, so an explicit ``compiled=True`` is rejected
-    while the ambient flag is simply ignored.
+    (forwarding ``lanes``/``steps``/``dt``/``seed``) — or its
+    uint64-block twin
+    :class:`repro.compiled.sampled.CompiledSampledBackend` under the
+    same routing, again bit-identical.
     """
     if isinstance(backend, StatsBackend):
         if kwargs:
@@ -225,8 +226,12 @@ def make_backend(backend, compiled: Optional[bool] = None,
             return CompiledAnalyticBackend()
         return AnalyticBackend()
     if backend == "sampled":
-        if compiled:
-            raise TypeError("the sampled backend has no compiled kernel")
+        from ..compiled.flags import use_compiled
+
+        if use_compiled(compiled):
+            from ..compiled.sampled import CompiledSampledBackend
+
+            return CompiledSampledBackend(**kwargs)
         return SampledBackend(**kwargs)
     raise ValueError(
         f"unknown backend {backend!r}; use 'analytic', 'sampled' or an instance"

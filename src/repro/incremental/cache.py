@@ -38,10 +38,12 @@ __all__ = ["StatsCache"]
 class StatsCache:
     """Circuit-wide (P, D) and power, re-propagated only where dirty.
 
-    ``compiled`` routes the analytic backend through the flat-array
-    kernels of :mod:`repro.compiled` (``None`` defers to the
-    ``REPRO_COMPILED`` environment flag; bit-identical either way;
-    rejected for the sampled backend, which has no compiled kernel).
+    ``compiled`` routes the statistics backend through the flat-array
+    kernels of :mod:`repro.compiled` (analytic and sampled both have
+    compiled twins) **and** the power refresh through the class-batched
+    :class:`~repro.compiled.power.CompiledPowerKernel`; ``None`` defers
+    to the ``REPRO_COMPILED`` environment flag, and every cached float
+    is bit-identical either way.
     """
 
     def __init__(self, circuit: Circuit,
@@ -58,6 +60,12 @@ class StatsCache:
         self.circuit = circuit
         self.backend = make_backend(backend, compiled=compiled,
                                     **backend_kwargs)
+        from ..compiled.flags import use_compiled
+
+        #: Route the power refresh through the compiled kernel under
+        #: the same flag that routes the statistics backend.
+        self._compiled_power = use_compiled(compiled)
+        self._power_kernel_obj = None
         self.model = model if model is not None else GatePowerModel()
         _, self.po_load = timing_context(self.model.tech, po_load)
         # Memoised on the circuit: a second cache (or a search run)
@@ -173,20 +181,38 @@ class StatsCache:
         return net_load(self.index.sinks(net), net in self._outputs,
                         self.model.tech, self.po_load)
 
+    def power_kernel(self):
+        """The memoised :class:`CompiledPowerKernel` (compiled mode only)."""
+        from ..compiled.circuit import get_compiled
+        from ..compiled.power import CompiledPowerKernel
+
+        cc = get_compiled(self.circuit)
+        kernel = self._power_kernel_obj
+        if kernel is None or kernel.cc is not cc:
+            kernel = CompiledPowerKernel(cc, self.model)
+            self._power_kernel_obj = kernel
+        return kernel
+
     def _refresh_power(self) -> None:
         self.refresh()
         # Sorted iteration: string-set order varies with per-process
         # hash randomisation, and a run-varying float summation order
         # would make repeated runs differ in the last ulp.
-        for name in sorted(self._power_dirty, key=self._topo_index.__getitem__):
-            gate = self.circuit.gate(name)
-            pin_stats = {
-                pin: self._stats[gate.pin_nets[pin]]
-                for pin in gate.template.pins
-            }
-            self._power[name] = self.model.gate_power(
-                gate.compiled(), pin_stats, self._output_load(gate.output)
+        names = sorted(self._power_dirty, key=self._topo_index.__getitem__)
+        if self._compiled_power:
+            self._power.update(
+                self.power_kernel().reports(names, self._stats, self.po_load)
             )
+        else:
+            for name in names:
+                gate = self.circuit.gate(name)
+                pin_stats = {
+                    pin: self._stats[gate.pin_nets[pin]]
+                    for pin in gate.template.pins
+                }
+                self._power[name] = self.model.gate_power(
+                    gate.compiled(), pin_stats, self._output_load(gate.output)
+                )
         self._power_dirty.clear()
 
     def total_power(self) -> float:

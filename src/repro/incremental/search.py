@@ -10,6 +10,17 @@ then rollback — so scoring a move costs the edited gate's fanout cone,
 not the whole circuit (``benchmarks/bench_eco_search.py`` holds this
 to a >= 10x floor against naive full-circuit rescoring).
 
+In compiled mode (``compiled=`` / the ``REPRO_COMPILED`` flag) the
+greedy pure-power sweep goes one step further: all same-gate
+candidates of a pass are priced in one vectorised kernel invocation
+(:class:`_BatchPricer`) instead of per-move trials — reorders touch
+only the gate's own power row, retemplate cones resettle on scratch
+copies of the compiled backend's arrays — with scores, accept
+decisions and the move trace bit-identical to the WhatIf path
+(``benchmarks/bench_compiled_sampler.py`` holds the pass-level
+speedup to a >= 5x floor and ``tests/test_batch_pricing.py`` the
+artifact equality).
+
 Two strategies, both deterministic for a given ``seed``:
 
 ``"greedy"``  steepest descent to a fixed point: per gate, trial every
@@ -51,8 +62,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..circuit.netlist import Circuit, SetConfig, SetTemplate
+from ..compiled.flags import use_compiled
 from ..core.power_model import GatePowerModel
+from ..gates.capacitance import pin_terminal_counts
 from ..sim.bitsim import stream_rng
 from ..stochastic.signal import SignalStats
 from ..timing.sta import DEFAULT_PO_LOAD
@@ -383,6 +398,244 @@ class SearchResult:
 
 
 # ----------------------------------------------------------------------
+# Batched candidate pricing (compiled mode)
+# ----------------------------------------------------------------------
+class _BatchPricer:
+    """Vectorised same-gate candidate pricing through the compiled kernels.
+
+    A pure-power greedy pass does not need a WhatIf trial per
+    candidate: a ``reorder`` never changes the gate's logic function —
+    net statistics, pin terminal counts and hence every net load are
+    untouched, so only the gate's own power row moves — and a
+    ``retemplate`` cone can be resettled on scratch copies of the
+    compiled analytic backend's (P, D) arrays without ever editing the
+    circuit.  Candidate totals rebuild the exact left fold
+    :meth:`StatsCache.total_power` runs: the baseline per-gate totals
+    with the repriced rows substituted, folded in topological order via
+    ``np.cumsum`` (a strictly sequential partial sum, and ``0.0 + x``
+    is exact), so scores, accept decisions and the move trace are
+    bit-identical to the per-move WhatIf path.  Only the
+    re-propagation work — ``gates_repropagated`` — shrinks.
+
+    Bookkeeping parity with the rolled-back trials is explicit: every
+    scored gate seeds the timing cache's dirty set through
+    :meth:`TimingCache.mark_dirty` (a trial apply would have notified
+    it, and rollback leaves the seeds in place), so ``retimed`` counts
+    and accept-time delay readings match; pending rollback cones are
+    flushed exactly where opening the WhatIf would have flushed them,
+    so accept-time ``cone`` counts match too.
+
+    :meth:`score` returns ``None`` when it cannot price a batch this
+    way — retemplate candidates on a backend without live (P, D)
+    arrays (the sampled backends' lane histories cannot be trial-run
+    from here) — and the caller falls back to the WhatIf loop.
+    """
+
+    def __init__(self, state: "_Search"):
+        self.state = state
+        self.cache = state.cache
+        self.kernel = self.cache.power_kernel()
+        self.cc = self.kernel.cc
+        self._templates = {t.name: t for t in state.circuit.library}
+        #: Gate names in topological order — the exact iteration order
+        #: of :meth:`StatsCache.total_power`'s summation.
+        self._names = sorted(self.cache.topo_index,
+                             key=self.cache.topo_index.__getitem__)
+        #: Candidate-template statistics classes, keyed by template
+        #: name (the compiled circuit's own key space) and built
+        #: lazily without touching the circuit's class registry.
+        self._stats_classes: Dict[str, object] = {}
+        self._totals: Optional[np.ndarray] = None
+
+    def invalidate(self) -> None:
+        """Drop the cached baseline totals (an accept changed rows)."""
+        self._totals = None
+
+    def _baseline_totals(self) -> np.ndarray:
+        totals = self._totals
+        if totals is None:
+            power = self.cache._power
+            totals = np.fromiter(
+                (power[name].total for name in self._names),
+                dtype=float, count=len(self._names),
+            )
+            self._totals = totals
+        return totals
+
+    def _fold(self, replacements: List[Dict[int, float]]) -> np.ndarray:
+        """Candidate totals: baseline rows with replacements, refolded."""
+        baseline = self._baseline_totals()
+        rows = np.tile(baseline, (len(replacements), 1))
+        for k, repl in enumerate(replacements):
+            for pos, value in repl.items():
+                rows[k, pos] = value
+        return np.cumsum(rows, axis=1)[:, -1]
+
+    def score(self, moves: Sequence["Move"]
+              ) -> Optional[List[Tuple[float, float, float]]]:
+        """Price one same-gate batch; ``None`` defers to the WhatIf loop."""
+        state = self.state
+        # Flush pending work exactly where opening the WhatIf would
+        # have (leftover rollback cones from annealing trials), so the
+        # accept-time cone sizes match the per-move path.
+        self.cache._refresh_power()
+        if moves[0].kind == "reorder":
+            totals = self._reorder_totals(moves)
+        else:
+            totals = self._retemplate_totals(moves)
+            if totals is None:
+                return None
+        state.timing.mark_dirty(moves[0].gate)
+        state.trials += len(moves)
+        delay = state.delay
+        scored = []
+        for total in totals:
+            power = float(total)
+            scored.append((
+                state.objective.score(power, delay, state.power0,
+                                      state.delay0),
+                power, delay,
+            ))
+        return scored
+
+    def _reorder_totals(self, moves: Sequence["Move"]) -> np.ndarray:
+        cache = self.cache
+        cc = self.cc
+        kernel = self.kernel
+        gate = self.state.circuit.gate(moves[0].gate)
+        template = gate.template
+        gid = cc.gate_id[gate.name]
+        cc._sync_codes()
+        load = cc.net_loads(kernel.model.tech, cache.po_load)[cc.out_net[gid]]
+        loads = np.asarray([load])
+        p_in, d_in = kernel._gather([gid], len(template.pins), cache._stats)
+        pos = cache.topo_index[gate.name]
+        replacements = []
+        for move in moves:
+            config = move.edit.config
+            if config is None:
+                config = template.default_config()
+            cls = kernel.class_for_gate(
+                template.compile_config(config),
+                (template.name, config.key()),
+            )
+            *_, totals = cls.evaluate(kernel.model, p_in, d_in, loads)
+            replacements.append({pos: float(totals[0])})
+        return self._fold(replacements)
+
+    def _retemplate_totals(self, moves: Sequence["Move"]
+                           ) -> Optional[np.ndarray]:
+        from ..compiled.backend import CompiledAnalyticBackend
+        from ..compiled.circuit import _StatsClass
+
+        cache = self.cache
+        backend = cache.backend
+        if not isinstance(backend, CompiledAnalyticBackend):
+            return None
+        cc = self.cc
+        kernel = self.kernel
+        model = kernel.model
+        tech = model.tech
+        circuit = self.state.circuit
+        gate_name = moves[0].gate
+        gate = circuit.gate(gate_name)
+        gid = cc.gate_id[gate_name]
+        cc._sync_codes()
+        base_loads = cc.net_loads(tech, cache.po_load)
+        topo = cache.topo_index
+        cone = cache.index.cone_from_gates([gate_name])
+        rest = sorted((name for name in cone if name != gate_name),
+                      key=topo.__getitem__)
+        rest_ids = np.fromiter((cc.gate_id[n] for n in rest),
+                               dtype=np.int64, count=len(rest))
+        preds = [g.name for g in circuit.fanin_drivers(gate_name)]
+        fanin = cc._fanin_matrix(np.asarray([gid], dtype=np.int64),
+                                 len(gate.template.pins))
+        out = int(cc.out_net[gid])
+        slot_lo = int(cc.fanin_ptr[gid])
+        slot_hi = int(cc.fanin_ptr[gid + 1])
+        # Ascending-slot occurrence lists of the gate's fanin nets —
+        # the np.add.at accumulation order of net_loads.
+        net_slots = {
+            net: [int(s) for s in np.flatnonzero(cc.fanin_net == net)]
+            for net in sorted({int(n) for n in cc.fanin_net[slot_lo:slot_hi]})
+        }
+        replacements = []
+        for move in moves:
+            new_template = self._templates[move.edit.template]
+            config = move.edit.config
+            if config is None:
+                config = new_template.default_config()
+            compiled = new_template.compile_config(config)
+            # Candidate statistics: the gate's new output first (it is
+            # strictly the lowest level of its cone), then the rest of
+            # the cone level-batched on scratch copies — the exact
+            # group sequence a trial resettle of the cone runs.
+            prob = backend._prob.copy()
+            dens = backend._dens.copy()
+            stats_cls = self._stats_classes.get(new_template.name)
+            if stats_cls is None:
+                stats_cls = _StatsClass(compiled.output_tt)
+                self._stats_classes[new_template.name] = stats_cls
+            p_out, d_out = cc._stats_group(stats_cls, fanin, prob, dens)
+            prob[out] = p_out[0]
+            dens[out] = d_out[0]
+            cc.resettle_stats(rest_ids, prob, dens)
+            # Candidate loads: only the gate's own pins change terminal
+            # counts, so only its fanin nets need their load refolded.
+            counts = pin_terminal_counts(compiled)
+            cand_counts = [counts[pin] for pin in new_template.pins]
+            cand_loads: Dict[int, float] = {}
+            for net, slots in net_slots.items():
+                value = 0.0
+                for s in slots:
+                    if slot_lo <= s < slot_hi:
+                        count = cand_counts[s - slot_lo]
+                    else:
+                        count = int(cc.slot_count[s])
+                    value = value + count * tech.c_gate
+                if cc.is_output[net]:
+                    value = value + cache.po_load
+                cand_loads[net] = value
+
+            def total_of(rid: int, cls) -> float:
+                matrix = cc._fanin_matrix(np.asarray([rid], dtype=np.int64),
+                                          cls.arity)
+                net = int(cc.out_net[rid])
+                load = cand_loads.get(net)
+                if load is None:
+                    load = base_loads[net]
+                *_, totals = cls.evaluate(
+                    model, prob[matrix], dens[matrix],
+                    np.asarray([load], dtype=float),
+                )
+                return float(totals[0])
+
+            # Repriced rows: the gate itself (new class), its cone
+            # (new input statistics) and its fanin drivers (new loads)
+            # — exactly the trial's power-dirty set.
+            repl = {
+                topo[gate_name]: total_of(
+                    gid,
+                    kernel.class_for_gate(
+                        compiled, (new_template.name, config.key())),
+                )
+            }
+            for name, rid in zip(rest, rest_ids):
+                repl[topo[name]] = total_of(
+                    int(rid),
+                    kernel.class_for_code(int(cc.timing_code[rid])),
+                )
+            for name in preds:
+                rid = cc.gate_id[name]
+                repl[topo[name]] = total_of(
+                    rid, kernel.class_for_code(int(cc.timing_code[rid]))
+                )
+            replacements.append(repl)
+        return self._fold(replacements)
+
+
+# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class _Search:
@@ -391,7 +644,7 @@ class _Search:
     def __init__(self, cache: StatsCache, timing: TimingCache,
                  objective: Objective,
                  retemplate: bool, max_trials: Optional[int],
-                 max_moves: Optional[int]):
+                 max_moves: Optional[int], batch_pricing: bool = False):
         self.cache = cache
         self.timing = timing
         self.circuit = cache.circuit
@@ -409,6 +662,13 @@ class _Search:
         self.delay0 = self.delay
         self.score = objective.score(self.power, self.delay,
                                      self.power0, self.delay0)
+        # Batched candidate pricing replaces per-move trials only when
+        # no candidate needs a delay reading: a delay-bearing objective
+        # must retime every trial state, which requires the edit to be
+        # applied for real.
+        self._pricer: Optional[_BatchPricer] = None
+        if batch_pricing and not objective.needs_delay:
+            self._pricer = _BatchPricer(self)
 
     # -- budget -------------------------------------------------------
     def out_of_budget(self) -> bool:
@@ -438,7 +698,17 @@ class _Search:
         "baseline plus exactly this candidate" — one cone
         re-propagation per candidate instead of an apply/rollback pair.
         Returns ``(score, power, delay)`` per move.
+
+        In compiled mode with a pure-power objective the whole batch
+        is priced in one vectorised kernel pass instead
+        (:class:`_BatchPricer`; bit-identical results, no trial
+        applies), falling back to the WhatIf loop for the batches the
+        pricer declines.
         """
+        if self._pricer is not None:
+            scored = self._pricer.score(moves)
+            if scored is not None:
+                return scored
         scored = []
         with WhatIf(self.cache) as trial:
             for move in moves:
@@ -482,6 +752,8 @@ class _Search:
         self.delay = delay_after
         self.score = self.objective.score(power_after, delay_after,
                                           self.power0, self.delay0)
+        if self._pricer is not None:
+            self._pricer.invalidate()
 
     def touched_gates(self, move: Move) -> List[str]:
         """Gates whose decision context an accepted ``move`` changed.
@@ -721,8 +993,10 @@ def search_circuit(
 
     ``compiled`` routes the statistics and timing hot loops through the
     flat-array kernels of :mod:`repro.compiled` (``None`` defers to the
-    ``REPRO_COMPILED`` environment flag); results are bit-identical
-    either way.
+    ``REPRO_COMPILED`` environment flag) and additionally prices each
+    greedy pure-power candidate batch in one vectorised kernel pass
+    instead of per-move trials; results — the move trace included —
+    are bit-identical either way.
 
     Determinism: for a fixed ``(circuit, input_stats, seed)`` and
     parameters the accepted-move trace — and hence
@@ -796,7 +1070,8 @@ def search_circuit(
                          compiled=compiled)
     try:
         state = _Search(cache, timing, resolved, retemplate,
-                        max_trials, max_moves)
+                        max_trials, max_moves,
+                        batch_pricing=use_compiled(compiled))
         rounds = 0
         if strategy == "greedy":
             rounds = _greedy(state, max_rounds)

@@ -126,6 +126,21 @@ class TimingCache:
         for pred in self.circuit.fanin_drivers(gate_name):
             self._dirty.add(pred.name)
 
+    def mark_dirty(self, gate_name: str) -> None:
+        """Seed the dirty set as if ``gate_name`` had just been edited.
+
+        The batch move pricer (:mod:`repro.incremental.search`) scores
+        candidates without applying circuit edits, so no edit
+        notification fires; this reproduces the exact seeds a trial
+        apply/rollback pair would leave — the gate plus its fanin
+        drivers — keeping the refresh work and the
+        :attr:`gates_retimed` counter bit-identical to the per-move
+        :class:`~repro.incremental.eco.WhatIf` path.
+        """
+        if gate_name not in self._topo_index:
+            raise KeyError(f"unknown gate {gate_name!r}")
+        self._on_edit(gate_name, "mark")
+
     def set_input_arrival(self, net: str, arrival: float) -> float:
         """Edit one primary input's arrival time; returns the old value."""
         if net not in self._input_arrivals:

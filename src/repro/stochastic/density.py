@@ -101,16 +101,23 @@ def propagate_stats(circuit: Circuit,
     ``steps``, ``dt``, ``seed``) to
     :func:`repro.sim.bitsim.sampled_stats`; the analytic engines accept
     no extra arguments.  ``compiled`` routes the ``"local"`` sweep
-    through the flat-array kernel of :mod:`repro.compiled` (``None``
-    defers to the ``REPRO_COMPILED`` environment flag); results are
-    bit-identical to :func:`local_stats`.
+    through the flat-array kernel of :mod:`repro.compiled` and the
+    ``"sampled"`` run through its uint64-block twin
+    (:func:`repro.compiled.sampled.compiled_sampled_stats`); ``None``
+    defers to the ``REPRO_COMPILED`` environment flag, and results are
+    bit-identical either way.
     """
     missing = [n for n in circuit.inputs if n not in input_stats]
     if missing:
         raise KeyError(f"missing input statistics for {missing}")
     if method == "sampled":
-        if compiled:
-            raise TypeError("the sampled engine has no compiled kernel")
+        from ..compiled.flags import use_compiled
+
+        if use_compiled(compiled):
+            from ..compiled.sampled import compiled_sampled_stats
+
+            return compiled_sampled_stats(circuit, input_stats,
+                                          **sampling_kwargs)
         from ..sim.bitsim import sampled_stats
 
         return sampled_stats(circuit, input_stats, **sampling_kwargs)

@@ -360,3 +360,26 @@ class TestSearchCommand:
         assert args.strategy == "greedy"
         assert args.objective == "power"
         assert not args.retemplate and not args.polish
+
+    def test_search_portfolio_flags_require_anneal(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        with pytest.raises(SystemExit, match="--strategy anneal"):
+            run_cli("search", blif, "--restarts", "2")
+        with pytest.raises(SystemExit, match="--strategy anneal"):
+            run_cli("search", blif, "--jobs", "2")
+
+    def test_restarts_help_states_the_real_default(self):
+        # the help text is built from DEFAULT_RESTARTS, not a literal,
+        # so the two can never drift apart; introspect the action
+        # (matching --help output is fragile under argparse wrapping).
+        import argparse
+
+        from repro.incremental.portfolio import DEFAULT_RESTARTS
+
+        parser = build_parser()
+        subactions = next(a for a in parser._actions
+                          if isinstance(a, argparse._SubParsersAction))
+        search = subactions.choices["search"]
+        restarts = next(a for a in search._actions
+                        if "--restarts" in a.option_strings)
+        assert f"default {DEFAULT_RESTARTS} when --jobs" in restarts.help

@@ -272,12 +272,28 @@ class TestFlag:
         with pytest.raises(ValueError):
             use_compiled(None)
 
+    def test_string_arguments_parse_like_the_env(self):
+        # a caller forwarding compiled="0" from its own environment or
+        # argv means *off*; bool("0") would have silently meant *on*.
+        for spelling in ("1", "true", "YES", " on ", "yes"):
+            assert use_compiled(spelling) is True
+        for spelling in ("", "0", "false", "No", " OFF "):
+            assert use_compiled(spelling) is False
+        with pytest.raises(ValueError):
+            use_compiled("maybe")
+
     def test_compiled_backend_keeps_the_analytic_name(self):
         assert CompiledAnalyticBackend().name == "analytic"
 
-    def test_sampled_rejects_explicit_compiled(self):
+    def test_sampled_routes_explicit_compiled(self):
+        # the sampled estimator now has a compiled twin; an already-
+        # constructed instance still conflicts with the flag.
+        from repro.compiled.sampled import CompiledSampledBackend
+
+        backend = make_backend("sampled", compiled=True)
+        assert isinstance(backend, CompiledSampledBackend)
         with pytest.raises(TypeError):
-            make_backend("sampled", compiled=True)
+            make_backend(backend, compiled=True)
 
 
 # ----------------------------------------------------------------------

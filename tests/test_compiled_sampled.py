@@ -1,0 +1,306 @@
+"""Bit-identity of the vectorized sampled kernel (`repro.compiled.sampled`).
+
+The contract under test: the uint64-blocked lane layout — packing,
+Markov substreams, Shannon word evaluation, ones/toggle counts —
+reproduces the big-int path of `repro.sim.bitsim` **bit for bit**,
+both as the from-scratch `propagate_stats(method="sampled")` engine
+and as the `StatsCache` backend under random edit sequences, for lane
+counts on and off the 64-bit word boundary.  Plus the substream-cache
+regression: a rolled-back what-if trial must never redraw streams the
+run has already seen.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import random_logic
+from repro.compiled import sampled as sampled_mod
+from repro.compiled.sampled import (
+    CompiledSampledBackend,
+    blocks_from_int,
+    compiled_sampled_stats,
+    int_from_blocks,
+    lane_mask_blocks,
+    markov_stream_blocks,
+    pack_lane_bools,
+)
+from repro.incremental import StatsCache, make_backend
+from repro.incremental.backends import SampledBackend
+from repro.incremental.eco import InputStatsEdit, WhatIf
+from repro.sim.bitsim import (
+    markov_stream_words,
+    sampled_stats,
+    stream_rng,
+)
+from repro.sim.stimulus import ScenarioA
+from repro.stochastic.density import propagate_stats
+from repro.stochastic.signal import SignalStats
+from repro.synth.mapper import map_circuit
+
+#: On-boundary, odd sub-word, and multi-word-with-tail lane counts.
+LANE_COUNTS = (64, 37, 100)
+
+
+@pytest.fixture(scope="module")
+def wide():
+    circuit = map_circuit(random_logic(12, 60, seed=9))
+    stats = ScenarioA(seed=2).input_stats(circuit.inputs)
+    return circuit, stats
+
+
+def reorder_specs():
+    return st.tuples(
+        st.sampled_from(["reorder", "retemplate", "input-stats"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    )
+
+
+def apply_spec(circuit, cache, input_stats, spec):
+    kind, selector, value = spec
+    if kind == "reorder":
+        gates = [g for g in circuit.gates
+                 if g.template.num_configurations() > 1]
+        gate = gates[selector % len(gates)]
+        configurations = gate.template.configurations()
+        circuit.set_config(gate.name,
+                           configurations[value % len(configurations)])
+    elif kind == "retemplate":
+        groups = {}
+        for template in circuit.library:
+            groups.setdefault(template.pins, []).append(template.name)
+        gates = [g for g in circuit.gates
+                 if len(groups[g.template.pins]) > 1]
+        gate = gates[selector % len(gates)]
+        others = [name for name in groups[gate.template.pins]
+                  if name != gate.template.name]
+        circuit.set_template(gate.name, others[value % len(others)])
+    else:
+        net = circuit.inputs[selector % len(circuit.inputs)]
+        probability = 0.05 + 0.9 * ((value % 97) / 96.0)
+        density = 1.0e4 * (1 + value % 89)
+        input_stats[net] = SignalStats(probability, density)
+        cache.set_input_stats(net, input_stats[net])
+
+
+# ----------------------------------------------------------------------
+# The lane-block layout
+# ----------------------------------------------------------------------
+class TestPacking:
+    @pytest.mark.parametrize("lanes", LANE_COUNTS + (1, 63, 65, 1024))
+    def test_pack_round_trips_through_big_ints(self, lanes):
+        rng = np.random.default_rng(7)
+        blocks = (lanes + 63) // 64
+        values = rng.random(lanes) < 0.5
+        word = sum(1 << k for k, bit in enumerate(values) if bit)
+        row = pack_lane_bools(values, blocks)
+        assert int_from_blocks(row) == word
+        assert np.array_equal(blocks_from_int(word, blocks), row)
+
+    @pytest.mark.parametrize("lanes", LANE_COUNTS + (1, 63, 65))
+    def test_lane_mask_matches_big_int_mask(self, lanes):
+        blocks = (lanes + 63) // 64
+        assert int_from_blocks(lane_mask_blocks(lanes)) == (1 << lanes) - 1
+        assert lane_mask_blocks(lanes).shape == (blocks,)
+
+    @pytest.mark.parametrize("lanes", LANE_COUNTS)
+    def test_markov_stream_blocks_equal_words(self, lanes):
+        stats = SignalStats(0.35, 2.0e5)
+        dt = 0.5 * min(stats.mean_high_dwell, stats.mean_low_dwell)
+        words = markov_stream_words(stats, lanes, 24, dt,
+                                    stream_rng(3, "x1"))
+        blocked = markov_stream_blocks(stats, lanes, 24, dt,
+                                       stream_rng(3, "x1"))
+        assert [int_from_blocks(row) for row in blocked] == words
+
+    def test_markov_stream_blocks_rejects_coarse_dt(self):
+        stats = SignalStats(0.5, 2.0e5)
+        with pytest.raises(ValueError, match="too coarse"):
+            markov_stream_blocks(stats, 64, 8, 1.0,
+                                 stream_rng(0, "x1"))
+
+
+# ----------------------------------------------------------------------
+# The from-scratch engine
+# ----------------------------------------------------------------------
+class TestSampledStats:
+    @pytest.mark.parametrize("lanes", LANE_COUNTS)
+    def test_bit_identical_to_bigint_path(self, wide, lanes):
+        circuit, stats = wide
+        reference = sampled_stats(circuit, stats, lanes=lanes, steps=17,
+                                  seed=3)
+        compiled = compiled_sampled_stats(circuit, stats, lanes=lanes,
+                                          steps=17, seed=3)
+        assert compiled == reference
+
+    def test_propagate_stats_routes_through_the_kernel(self, wide):
+        circuit, stats = wide
+        via_flag = propagate_stats(circuit, stats, "sampled", compiled=True,
+                                   lanes=37, steps=9, seed=5)
+        assert via_flag == sampled_stats(circuit, stats, lanes=37, steps=9,
+                                         seed=5)
+
+    def test_validation_matches_bigint_path(self, wide):
+        circuit, stats = wide
+        with pytest.raises(ValueError, match="too coarse"):
+            compiled_sampled_stats(circuit, stats, dt=1.0)
+        with pytest.raises(ValueError, match="time step"):
+            compiled_sampled_stats(circuit, stats, steps=0)
+        with pytest.raises(KeyError, match="missing input statistics"):
+            compiled_sampled_stats(circuit, {})
+
+
+# ----------------------------------------------------------------------
+# The StatsCache backend under edits
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    def test_make_backend_routes_on_the_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED", raising=False)
+        assert not isinstance(make_backend("sampled"), CompiledSampledBackend)
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        backend = make_backend("sampled", lanes=32, steps=8)
+        assert isinstance(backend, CompiledSampledBackend)
+        assert backend.name == "sampled"  # artifacts record the estimator
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(reorder_specs(), min_size=1, max_size=6),
+           st.sampled_from(LANE_COUNTS))
+    def test_caches_stay_bit_identical_under_edits(self, wide, specs, lanes):
+        circuit_master, stats = wide
+        ref_circuit = circuit_master.copy()
+        flat_circuit = circuit_master.copy()
+        ref_stats, flat_stats = dict(stats), dict(stats)
+        ref = StatsCache(ref_circuit, ref_stats, backend="sampled",
+                         compiled=False, lanes=lanes, steps=16, seed=4)
+        flat = StatsCache(flat_circuit, flat_stats, backend="sampled",
+                          compiled=True, lanes=lanes, steps=16, seed=4)
+        try:
+            assert isinstance(flat.backend, CompiledSampledBackend)
+            assert not isinstance(ref.backend, CompiledSampledBackend)
+            assert flat.stats() == ref.stats()
+            for spec in specs:
+                apply_spec(ref_circuit, ref, ref_stats, spec)
+                apply_spec(flat_circuit, flat, flat_stats, spec)
+                # Same dirty-cone bookkeeping on both engines...
+                assert flat.dirty_gates == ref.dirty_gates
+                done_ref, done_flat = (ref.gates_repropagated,
+                                       flat.gates_repropagated)
+                # ...and bit-identical streams, stats and power after it.
+                assert flat.stats() == ref.stats()
+                assert flat.total_power() == ref.total_power()
+                assert (flat.gates_repropagated - done_flat
+                        == ref.gates_repropagated - done_ref)
+        finally:
+            flat.close()
+            ref.close()
+
+    def test_backend_dt_freezes_at_full_time(self, wide):
+        circuit, stats = wide
+        work = circuit.copy()
+        with StatsCache(work, stats, backend="sampled", compiled=True,
+                        lanes=64, steps=8, seed=1) as cache:
+            dt = cache.backend.dt
+            assert dt is not None
+            net = work.inputs[0]
+            cache.set_input_stats(net, SignalStats(0.9, 1.0e4))
+            cache.stats()
+            assert cache.backend.dt == dt
+
+
+# ----------------------------------------------------------------------
+# Substream-cache rollback regression
+# ----------------------------------------------------------------------
+class TestStreamCacheRollback:
+    """A rolled-back trial restores statistics the run has already
+    drawn streams for; the refresh must reuse the cached words — no
+    redraw — and land on bit-identical state."""
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_trial_rollback_refresh_does_not_redraw(self, wide, monkeypatch,
+                                                    compiled):
+        circuit, stats = wide
+        work = circuit.copy()
+        draws = []
+        if compiled:
+            real = markov_stream_blocks
+            monkeypatch.setattr(
+                sampled_mod, "markov_stream_blocks",
+                lambda *a, **k: draws.append(a) or real(*a, **k))
+        else:
+            import repro.incremental.backends as backends_mod
+
+            real = markov_stream_words
+            monkeypatch.setattr(
+                backends_mod, "markov_stream_words",
+                lambda *a, **k: draws.append(a) or real(*a, **k))
+        with StatsCache(work, stats, backend="sampled", compiled=compiled,
+                        lanes=64, steps=16, seed=2) as cache:
+            assert len(draws) == len(work.inputs)
+            baseline_stats = dict(cache.stats())
+            baseline_power = cache.total_power()
+            net = work.inputs[0]
+            with WhatIf(cache) as trial:
+                trial.apply(InputStatsEdit(net, SignalStats(0.9, 3.0e5)))
+                trial.power()
+            # one fresh draw for the trial's new (P, D)...
+            assert len(draws) == len(work.inputs) + 1
+            # ...and none for the rollback: the original stream is cached.
+            assert cache.stats() == baseline_stats
+            assert cache.total_power() == baseline_power
+            assert len(draws) == len(work.inputs) + 1
+            # Re-trialling the same statistics reuses the cache too.
+            with WhatIf(cache) as trial:
+                trial.apply(InputStatsEdit(net, SignalStats(0.9, 3.0e5)))
+                trial.power()
+            cache.stats()
+            assert len(draws) == len(work.inputs) + 1
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_nested_trial_rollback_restores_cached_streams(self, wide,
+                                                           monkeypatch,
+                                                           compiled):
+        circuit, stats = wide
+        work = circuit.copy()
+        draws = []
+        if compiled:
+            real = markov_stream_blocks
+            monkeypatch.setattr(
+                sampled_mod, "markov_stream_blocks",
+                lambda *a, **k: draws.append(a) or real(*a, **k))
+        else:
+            import repro.incremental.backends as backends_mod
+
+            real = markov_stream_words
+            monkeypatch.setattr(
+                backends_mod, "markov_stream_words",
+                lambda *a, **k: draws.append(a) or real(*a, **k))
+        with StatsCache(work, stats, backend="sampled", compiled=compiled,
+                        lanes=64, steps=16, seed=2) as cache:
+            baseline_stats = dict(cache.stats())
+            net_a, net_b = work.inputs[0], work.inputs[1]
+            with WhatIf(cache) as outer:
+                outer.apply(InputStatsEdit(net_a, SignalStats(0.8, 2.0e5)))
+                with WhatIf(cache) as inner:
+                    inner.apply(InputStatsEdit(net_b,
+                                               SignalStats(0.6, 4.0e5)))
+                    inner.power()
+                # the inner rollback restored net_b's original stream
+                outer.power()
+            drawn = len(draws)
+            # unwinding both trials redraws nothing: every restored
+            # (net, stats) pair is served from the substream cache.
+            assert cache.stats() == baseline_stats
+            assert len(draws) == drawn
+
+    def test_object_and_compiled_caches_key_identically(self, wide):
+        circuit, stats = wide
+        ref = SampledBackend(lanes=64, steps=8, seed=0)
+        flat = CompiledSampledBackend(lanes=64, steps=8, seed=0)
+        ref.full(circuit, stats)
+        flat.full(circuit, stats)
+        assert set(ref._stream_cache) == set(flat._stream_cache)
+        for key, words in ref._stream_cache.items():
+            blocked = flat._stream_cache[key]
+            assert [int_from_blocks(row) for row in blocked] == words
