@@ -30,7 +30,8 @@ import pytest
 pytestmark = pytest.mark.bench
 
 from repro.bench.generators import random_logic
-from repro.bench.runner import SCHEMA_VERSION, write_artifact
+from repro.bench.runner import SCHEMA_VERSION, environment_meta, \
+    write_artifact
 from repro.compiled import get_compiled
 from repro.sim.stimulus import ScenarioA
 from repro.stochastic.density import local_stats, propagate_stats
@@ -128,6 +129,7 @@ def test_write_artifact():
             "required_speedup": REQUIRED_SPEEDUP,
             "nodes": NODES,
         },
+        "meta": environment_meta(),
         "results": RESULTS,
     }
     write_artifact(artifact, out_path)

@@ -34,8 +34,8 @@ import pytest
 pytestmark = pytest.mark.bench
 
 from repro.bench.generators import random_logic
-from repro.bench.runner import SCHEMA_VERSION, dumps_artifact, strip_timing, \
-    write_artifact
+from repro.bench.runner import SCHEMA_VERSION, dumps_artifact, \
+    environment_meta, strip_timing, write_artifact
 from repro.incremental import StatsCache, search_circuit
 from repro.sim.stimulus import ScenarioA
 from repro.synth.mapper import map_circuit
@@ -163,6 +163,7 @@ def test_write_artifact():
             "steps": STEPS,
             "search_nodes": SEARCH_NODES,
         },
+        "meta": environment_meta(),
         "results": RESULTS,
     }
     write_artifact(artifact, out_path)

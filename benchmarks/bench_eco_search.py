@@ -28,7 +28,8 @@ import pytest
 
 pytestmark = pytest.mark.bench
 
-from repro.bench.runner import dumps_artifact, strip_timing, write_artifact
+from repro.bench.runner import dumps_artifact, environment_meta, \
+    strip_timing, write_artifact
 from repro.bench.suite import benchmark_suite, get_case
 from repro.core.optimizer import circuit_power, optimize_circuit
 from repro.incremental import search_circuit
@@ -158,6 +159,7 @@ def test_write_artifact():
             "name": "eco_search",
             "required_speedup": REQUIRED_SPEEDUP,
         },
+        "meta": environment_meta(),
         "results": RESULTS,
     }
     write_artifact(artifact, out_path)

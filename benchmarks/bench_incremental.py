@@ -25,7 +25,8 @@ import pytest
 
 pytestmark = pytest.mark.bench
 
-from repro.bench.runner import SCHEMA_VERSION, write_artifact
+from repro.bench.runner import SCHEMA_VERSION, environment_meta, \
+    write_artifact
 from repro.bench.suite import benchmark_suite, get_case
 from repro.incremental import SampledBackend, StatsCache
 from repro.incremental.backends import AnalyticBackend
@@ -158,6 +159,7 @@ def test_write_artifact():
             "gates": gates,
             "required_speedup": REQUIRED_SPEEDUP,
         },
+        "meta": environment_meta(),
         "results": [row for _, _, row in RESULTS],
     }
     write_artifact(artifact, out_path)

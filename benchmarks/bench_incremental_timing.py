@@ -34,6 +34,7 @@ pytestmark = pytest.mark.bench
 
 from repro.bench.runner import (
     SCHEMA_VERSION,
+    environment_meta,
     dumps_artifact,
     strip_timing,
     write_artifact,
@@ -197,6 +198,7 @@ def test_write_artifact():
             "name": "incremental_timing",
             "required_speedup": REQUIRED_SPEEDUP,
         },
+        "meta": environment_meta(),
         "results": RESULTS,
     }
     write_artifact(artifact, out_path)

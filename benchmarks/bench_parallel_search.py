@@ -34,6 +34,7 @@ pytestmark = pytest.mark.bench
 from repro.bench.generators import random_logic
 from repro.bench.runner import (
     SCHEMA_VERSION,
+    environment_meta,
     dumps_artifact,
     strip_timing,
     write_artifact,
@@ -140,6 +141,7 @@ def test_write_artifact():
             "anneal_trials": TRIALS,
             "cpus": CPUS,
         },
+        "meta": environment_meta(),
         "results": RESULTS,
     }
     write_artifact(artifact, out_path)

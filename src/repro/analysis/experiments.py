@@ -26,6 +26,7 @@ from ..core.power_model import GatePowerModel
 from ..core.reorder import evaluate_configurations
 from ..gates.capacitance import TechParams
 from ..gates.library import GateLibrary, default_library
+from ..obs import trace as _trace
 from ..sim.stimulus import ScenarioA, ScenarioB, Stimulus
 from ..sim.switchsim import SwitchLevelSimulator
 from ..stochastic.density import local_stats
@@ -323,24 +324,32 @@ def run_eco(circuit: Circuit,
             edit = resolve_edit(circuit, entry)
             repropagated = cache.gates_repropagated
             retimed_before = tcache.gates_retimed if tcache is not None else 0
-            if isinstance(edit, InputStatsEdit):
-                cache.set_input_stats(edit.net, edit.stats)
-            elif isinstance(edit, InputArrivalEdit):
-                if tcache is None:
-                    raise ValueError(
-                        "input-arrival edits need timing='incremental' "
-                        "(repro eco --timing)"
-                    )
-                tcache.set_input_arrival(edit.net, edit.arrival)
-            else:
-                circuit.apply_edit(edit)
-            power_after = cache.total_power()  # refreshes the dirty cone
-            if tcache is not None:
-                delay_after = tcache.delay()  # refreshes the timing cone
-                retimed = tcache.gates_retimed - retimed_before
-            else:
-                delay_after = circuit_delay(circuit, model.tech, po_load)
-                retimed = -1
+            tracer = _trace.ACTIVE
+            span = (tracer.span("eco.edit", index=index,
+                                label=script_edit_label(edit))
+                    if tracer is not None else _trace.NULL_SPAN)
+            with span:
+                if isinstance(edit, InputStatsEdit):
+                    cache.set_input_stats(edit.net, edit.stats)
+                elif isinstance(edit, InputArrivalEdit):
+                    if tcache is None:
+                        raise ValueError(
+                            "input-arrival edits need timing='incremental' "
+                            "(repro eco --timing)"
+                        )
+                    tcache.set_input_arrival(edit.net, edit.arrival)
+                else:
+                    circuit.apply_edit(edit)
+                power_after = cache.total_power()  # refreshes the dirty cone
+                if tcache is not None:
+                    delay_after = tcache.delay()  # refreshes the timing cone
+                    retimed = tcache.gates_retimed - retimed_before
+                else:
+                    delay_after = circuit_delay(circuit, model.tech, po_load)
+                    retimed = -1
+                if tracer is not None:
+                    span.note(cone=cache.gates_repropagated - repropagated,
+                              retimed=retimed)
             rows.append(EcoRow(
                 index=index,
                 label=script_edit_label(edit),

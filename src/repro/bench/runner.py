@@ -40,6 +40,7 @@ from .suite import benchmark_suite, get_case
 __all__ = [
     "SCHEMA_VERSION",
     "TIMING_FIELDS",
+    "environment_meta",
     "run_suite",
     "dumps_artifact",
     "write_artifact",
@@ -50,8 +51,32 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: Keys that describe the run rather than the result (wall-clock times,
-#: worker count); stripped for golden byte-comparisons.
-TIMING_FIELDS = ("elapsed_s", "jobs")
+#: worker count, host environment); stripped for golden byte-comparisons.
+TIMING_FIELDS = ("elapsed_s", "jobs", "meta")
+
+
+def environment_meta() -> Dict[str, object]:
+    """The run-environment block every benchmark artifact carries.
+
+    Describes *where* the numbers were produced (interpreter, numpy,
+    core count, kernel routing) — run descriptors like ``elapsed_s``,
+    so ``meta`` is in :data:`TIMING_FIELDS` and :func:`strip_timing`
+    drops it from golden byte-comparisons.
+    """
+    import platform
+
+    import numpy
+
+    from ..compiled.flags import compiled_default
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "compiled": compiled_default(),
+    }
 
 #: Worker-local mapped-netlist cache: case name -> mapped circuit.  The
 #: optimiser copies before reordering, so cached circuits stay pristine.
@@ -144,6 +169,7 @@ def run_suite(subset: Optional[str] = "quick",
         },
         "jobs": jobs,
         "elapsed_s": elapsed,
+        "meta": environment_meta(),
         "results": [row for rows in grouped for row in rows],
     }
     if out_path:

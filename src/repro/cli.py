@@ -13,6 +13,13 @@ Subcommands::
                            (--timing prices delay incrementally too)
     search FILE.blif       delta-driven ECO local search (greedy or
                            annealing) over the incremental engine
+    trace summarize FILE   per-span profile of a JSONL trace written by
+                           --trace / REPRO_TRACE (see repro.obs)
+
+``--trace PATH`` on ``search``/``eco``/``optimize``/``bench`` (or the
+``REPRO_TRACE`` environment variable, honoured by every subcommand)
+streams span/metrics events to a JSONL file while the run's printed
+output and artifacts stay byte-identical.
 """
 
 from __future__ import annotations
@@ -40,6 +47,15 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return value
+
+
+def _add_trace_arg(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace", metavar="PATH",
+        help="stream a JSONL span/metrics trace of this run here "
+             "(overrides REPRO_TRACE; printed output and artifacts are "
+             "unchanged — inspect with 'repro trace summarize PATH')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the JSON result artifact here")
     pb.add_argument("--cases", nargs="+", metavar="NAME",
                     help="explicit case names (overrides --subset)")
+    _add_trace_arg(pb)
 
     pa = sub.add_parser("adder", help="ripple-carry carry activity profile")
     pa.add_argument("--width", type=int, default=8)
@@ -98,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the optimised netlist as mapped BLIF")
     po.add_argument("--save-verilog", metavar="PATH",
                     help="write the optimised netlist as structural Verilog")
+    _add_trace_arg(po)
 
     pe = sub.add_parser(
         "eco",
@@ -127,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "instead of a full STA per edit")
     pe.add_argument("--out", metavar="PATH",
                     help="write the JSON result artifact here")
+    _add_trace_arg(pe)
 
     from .incremental.portfolio import DEFAULT_RESTARTS
 
@@ -177,6 +196,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the canonical JSON search artifact here")
     ps.add_argument("--save-blif", metavar="PATH",
                     help="write the searched netlist as mapped BLIF")
+    _add_trace_arg(ps)
+
+    pt = sub.add_parser(
+        "trace",
+        help="inspect JSONL traces written by --trace / REPRO_TRACE",
+    )
+    tsub = pt.add_subparsers(dest="trace_command", required=True)
+    pts = tsub.add_parser(
+        "summarize",
+        help="per-span count/total/self/p50/p95 table plus the slowest "
+             "individual spans",
+    )
+    pts.add_argument("file", help="path to a JSONL trace file")
+    pts.add_argument("--top", type=_positive_int, default=10,
+                     help="how many of the slowest spans to list "
+                          "(default 10)")
     return parser
 
 
@@ -553,10 +588,18 @@ def _cmd_search(out, args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """Entry point; returns the process exit code."""
-    out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+def _cmd_trace_summarize(out, path: str, top: int) -> int:
+    from .obs.summarize import render_summary, summarize_file
+
+    try:
+        summary = summarize_file(path)
+    except OSError as error:
+        raise SystemExit(f"trace summarize: {error}")
+    out.write(render_summary(summary, top=top))
+    return 0
+
+
+def _dispatch(args, out) -> int:
     if args.command == "table1":
         return _cmd_table1(out)
     if args.command == "table2":
@@ -578,7 +621,25 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                         args.timing, args.out)
     if args.command == "search":
         return _cmd_search(out, args)
+    if args.command == "trace":
+        return _cmd_trace_summarize(out, args.file, args.top)
     raise AssertionError("unreachable")
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    from .obs import trace as _trace
+
+    # --trace (search/eco/optimize/bench) wins over REPRO_TRACE; the
+    # environment flag alone enables tracing for any subcommand.
+    tracer = _trace.start(getattr(args, "trace", None))
+    try:
+        return _dispatch(args, out)
+    finally:
+        if tracer is not None:
+            _trace.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -50,6 +50,7 @@ from ..boolean.truthtable import TruthTable, _minterm_matrix
 from ..circuit.netlist import Circuit, GateInstance
 from ..gates.capacitance import TechParams, pin_terminal_counts
 from ..gates.network import OUT
+from ..obs.metrics import REGISTRY as _METRICS
 from ..stochastic.density import _EPS as _STATS_EPS
 from ..stochastic.signal import SignalStats
 from ..timing.elmore import LN2, gate_pin_delay_terms
@@ -120,6 +121,18 @@ def _rowwise_selected_sum(weights: np.ndarray,
         return np.zeros(len(weights))
     picked = weights[:, selection]
     return _pairwise_block(picked, 0, picked.shape[1])
+
+
+#: Process-global kernel metrics (:mod:`repro.obs.metrics`): invocation
+#: counts and batch-size distributions of the flat-array kernels.
+#: Module-level handles — one registry lookup at import time, then a
+#: slotted ``+=`` per kernel call.
+_STATS_GROUP_CALLS = _METRICS.counter("compiled.stats_group.calls")
+_STATS_GROUP_SIZES = _METRICS.histogram("compiled.stats_group.batch_size")
+_RETIME_CALLS = _METRICS.counter("compiled.retime.calls")
+_RETIME_SIZES = _METRICS.histogram("compiled.retime.batch_size")
+_LOADS_CALLS = _METRICS.counter("compiled.net_loads.calls")
+_LOADS_REBUILDS = _METRICS.counter("compiled.net_loads.rebuilds")
 
 
 class _StatsClass:
@@ -357,6 +370,8 @@ class CompiledCircuit:
         p_in = prob[fanin]
         d_in = dens[fanin]
         count = len(fanin)
+        _STATS_GROUP_CALLS.inc()
+        _STATS_GROUP_SIZES.observe(count)
         if cls.const_p is None:
             # TruthTable.probability: per-minterm weight products, then
             # the masked sum over the function's minterms.
@@ -487,9 +502,11 @@ class CompiledCircuit:
         to the object-graph summation for that net.
         """
         key = (tech, float(po_load))
+        _LOADS_CALLS.inc()
         cached = self._loads_cache.get(key)
         if cached is not None and cached[0] == self._cap_version:
             return cached[1]
+        _LOADS_REBUILDS.inc()
         loads = np.zeros(len(self.nets))
         np.add.at(loads, self.fanin_net, self._slot_caps(tech))
         loads[self.is_output] += po_load
@@ -532,6 +549,8 @@ class CompiledCircuit:
         within the level is immaterial — no intra-level dependencies).
         """
         parts_g, parts_o, parts_a, parts_p = [], [], [], []
+        _RETIME_CALLS.inc()
+        _RETIME_SIZES.observe(len(gate_ids))
         codes = self.timing_code[gate_ids]
         for code in np.unique(codes):
             sub = gate_ids[codes == code]

@@ -49,9 +49,16 @@ from ..core.power_model import (
     NodePowerEntry,
 )
 from ..gates.network import OUT, CompiledGate
+from ..obs.metrics import REGISTRY as _METRICS
 from .circuit import CompiledCircuit, _rowwise_selected_sum, _tt_selection
 
 __all__ = ["CompiledPowerKernel"]
+
+#: Process-global kernel metrics: power-kernel invocation counts and
+#: batch-size distribution (see :mod:`repro.compiled.circuit` for the
+#: statistics/timing twins).
+_POWER_EVAL_CALLS = _METRICS.counter("compiled.power_eval.calls")
+_POWER_EVAL_SIZES = _METRICS.histogram("compiled.power_eval.batch_size")
 
 
 def _table(tt: TruthTable) -> tuple:
@@ -110,6 +117,8 @@ class _PowerClass:
         every float bit-identical to :meth:`GatePowerModel.gate_power`.
         """
         count = len(loads)
+        _POWER_EVAL_CALLS.inc()
+        _POWER_EVAL_SIZES.observe(count)
         tech = model.tech
         factor = tech.switch_energy_factor
         if self.mat is not None:

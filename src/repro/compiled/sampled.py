@@ -47,6 +47,7 @@ from ..sim.bitsim import (
     _resolve_rng,
     stream_rng,
 )
+from ..obs.metrics import REGISTRY as _METRICS
 from ..stochastic.signal import SignalStats
 from .circuit import CompiledCircuit, get_compiled
 
@@ -61,6 +62,13 @@ __all__ = [
     "CompiledSampledBackend",
     "compiled_sampled_stats",
 ]
+
+#: Process-global kernel metrics: sampled-settle invocation counts and
+#: batch-size distribution (twins of the analytic kernels' metrics in
+#: :mod:`repro.compiled.circuit`).
+_SETTLE_CALLS = _METRICS.counter("compiled.settle_group.calls")
+_SETTLE_SIZES = _METRICS.histogram("compiled.settle_group.batch_size")
+
 
 #: uint64 words per stream step for a given lane count.
 def blocks_for_lanes(lanes: int) -> int:
@@ -174,6 +182,8 @@ class SampledKernel:
         self.hist[self.cc.net_id[net]] = stream
 
     def _settle_group(self, cls, ids: np.ndarray, fanin: np.ndarray) -> None:
+        _SETTLE_CALLS.inc()
+        _SETTLE_SIZES.observe(len(ids))
         # The memoised big-int Shannon closure runs unchanged on uint64
         # ndarrays: &, |, ~ and the mask are elementwise and exact.
         fn = _compile_word_function(cls.arity, cls.tt_bits)

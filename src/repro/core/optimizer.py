@@ -38,6 +38,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..circuit.netlist import Circuit, GateInstance
 from ..gates.capacitance import TechParams
+from ..obs import trace as _trace
+from ..obs.metrics import REGISTRY as _METRICS
 from ..stochastic.signal import SignalStats
 from ..timing.elmore import gate_pin_delay, gate_worst_delay
 from ..timing.sta import DEFAULT_PO_LOAD
@@ -220,7 +222,11 @@ def optimize_circuit(
     power_after = 0.0
     net_stats: Dict[str, SignalStats] = {}
     passes_run = 0
-    gates_decided = 0
+    # The process-wide decision counter (repro.obs.metrics); the result
+    # field is the delta over this run, so the artifact number and a
+    # metrics snapshot always agree.
+    _decided = _METRICS.counter("optimize.gates_decided")
+    decided_start = _decided.value
     any_changed = False
     topo = result_circuit.topo_gates()
     decisions_by_gate: Dict[str, GateDecision] = {}
@@ -256,7 +262,7 @@ def optimize_circuit(
                 evaluations = evaluate_configurations(
                     gate.template, pin_stats, model, load
                 )
-                gates_decided += 1
+                _decided.inc()
                 by_key = {e.config.key(): e for e in evaluations}
                 entry_key = gate.effective_config().key()
                 original_eval = by_key[entry_key]
@@ -298,7 +304,7 @@ def optimize_circuit(
                 evaluations = evaluate_configurations(
                     gate.template, pin_stats, model, load
                 )
-                gates_decided += 1
+                _decided.inc()
                 by_key = {e.config.key(): e for e in evaluations}
                 entry_key = gate.effective_config().key()
                 default_eval = by_key[gate.template.default_config().key()]
@@ -312,6 +318,11 @@ def optimize_circuit(
                     chosen, default_eval.power
                 )
 
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant("optimize.pass", number=passes_run,
+                           decided=_decided.since(decided_start),
+                           changed=len(changed_gates))
         if not changed_gates:
             break
         any_changed = True
@@ -356,8 +367,8 @@ def optimize_circuit(
 
     decisions = [decisions_by_gate[g.name] for g in topo]
     return OptimizeResult(result_circuit, net_stats, decisions,
-                          power_before, power_after, passes_run, gates_decided,
-                          gates_retimed)
+                          power_before, power_after, passes_run,
+                          _decided.since(decided_start), gates_retimed)
 
 
 def _choose(

@@ -28,6 +28,8 @@ from ..circuit.netlist import Circuit
 from ..core.optimizer import CircuitPowerReport
 from ..core.power_model import GatePowerModel, GatePowerReport
 from ..gates.capacitance import net_load
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
 from ..stochastic.signal import SignalStats
 from ..timing.sta import DEFAULT_PO_LOAD, timing_context
 from .backends import make_backend
@@ -86,17 +88,31 @@ class StatsCache:
         self._changed_inputs: set = set()
         self._power: Dict[str, GatePowerReport] = {}
         self._power_dirty: set = {g.name for g in circuit.gates}
-        #: Total gates re-propagated by :meth:`refresh` calls (the
-        #: benchmark's cone-size measure); the initial full propagation
-        #: is not counted.
-        self.gates_repropagated = 0
-        self.refresh_count = 0
+        #: Per-cache work counters (:mod:`repro.obs.metrics`): the one
+        #: place :attr:`gates_repropagated` and friends live, so the
+        #: artifact fields, the CLI reports and any metrics snapshot
+        #: all read the same numbers.
+        self.metrics = MetricsRegistry()
+        self._repropagated = self.metrics.counter("stats.gates_repropagated")
+        self._refreshes = self.metrics.counter("stats.refresh_count")
         #: Open :class:`~repro.incremental.eco.WhatIf` trials on this
         #: cache, innermost last; WhatIf uses it to enforce LIFO
         #: unwinding and to hand committed inner undo logs outward.
         self.trial_stack: list = []
         circuit.add_edit_listener(self._on_edit)
         self._subscribed = True
+
+    @property
+    def gates_repropagated(self) -> int:
+        """Total gates re-propagated by :meth:`refresh` calls (the
+        benchmark's cone-size measure); the initial full propagation is
+        not counted.  Backed by the ``stats.gates_repropagated``
+        counter in :attr:`metrics`."""
+        return self._repropagated.value
+
+    @property
+    def refresh_count(self) -> int:
+        return self._refreshes.value
 
     @property
     def topo_index(self) -> Mapping[str, int]:
@@ -154,13 +170,18 @@ class StatsCache:
             self.circuit.gate(name)
             for name in sorted(self._dirty, key=order.__getitem__)
         ]
-        updates = self.backend.update(
-            self.circuit, dirty_gates, self._input_stats,
-            frozenset(self._changed_inputs), self._stats,
-        )
+        tracer = _trace.ACTIVE
+        span = (tracer.span("stats.refresh", gates=len(dirty_gates),
+                            backend=self.backend.name)
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            updates = self.backend.update(
+                self.circuit, dirty_gates, self._input_stats,
+                frozenset(self._changed_inputs), self._stats,
+            )
         self._stats.update(updates)
-        self.gates_repropagated += len(dirty_gates)
-        self.refresh_count += 1
+        self._repropagated.inc(len(dirty_gates))
+        self._refreshes.inc()
         self._dirty.clear()
         self._changed_inputs.clear()
         return tuple(updates)
@@ -195,24 +216,34 @@ class StatsCache:
 
     def _refresh_power(self) -> None:
         self.refresh()
+        if not self._power_dirty:
+            return
         # Sorted iteration: string-set order varies with per-process
         # hash randomisation, and a run-varying float summation order
         # would make repeated runs differ in the last ulp.
         names = sorted(self._power_dirty, key=self._topo_index.__getitem__)
-        if self._compiled_power:
-            self._power.update(
-                self.power_kernel().reports(names, self._stats, self.po_load)
-            )
-        else:
-            for name in names:
-                gate = self.circuit.gate(name)
-                pin_stats = {
-                    pin: self._stats[gate.pin_nets[pin]]
-                    for pin in gate.template.pins
-                }
-                self._power[name] = self.model.gate_power(
-                    gate.compiled(), pin_stats, self._output_load(gate.output)
+        tracer = _trace.ACTIVE
+        span = (tracer.span("stats.power_refresh", gates=len(names),
+                            route="kernel" if self._compiled_power
+                            else "object")
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            if self._compiled_power:
+                self._power.update(
+                    self.power_kernel().reports(names, self._stats,
+                                                self.po_load)
                 )
+            else:
+                for name in names:
+                    gate = self.circuit.gate(name)
+                    pin_stats = {
+                        pin: self._stats[gate.pin_nets[pin]]
+                        for pin in gate.template.pins
+                    }
+                    self._power[name] = self.model.gate_power(
+                        gate.compiled(), pin_stats,
+                        self._output_load(gate.output)
+                    )
         self._power_dirty.clear()
 
     def total_power(self) -> float:

@@ -172,6 +172,10 @@ def _run_restart(payload: Mapping[str, object]) -> Dict[str, object]:
         "gates_retimed": result.gates_retimed,
         "budget_exhausted": result.budget_exhausted,
         "backend": result.backend,
+        # Wall time of this restart, for trace/profiling readouts only:
+        # the artifact's restart summaries select explicit keys, so it
+        # never perturbs byte-stability across jobs settings.
+        "elapsed_s": result.elapsed_s,
         "moves": [asdict(move) for move in result.accepted],
         "net_stats": [
             (net, stats.probability, stats.density)

@@ -68,6 +68,8 @@ from ..circuit.netlist import Circuit, SetConfig, SetTemplate
 from ..compiled.flags import use_compiled
 from ..core.power_model import GatePowerModel
 from ..gates.capacitance import pin_terminal_counts
+from ..obs import trace as _trace
+from ..obs.metrics import REGISTRY as _GLOBAL_METRICS
 from ..sim.bitsim import stream_rng
 from ..stochastic.signal import SignalStats
 from ..timing.sta import DEFAULT_PO_LOAD
@@ -705,21 +707,31 @@ class _Search:
         applies), falling back to the WhatIf loop for the batches the
         pricer declines.
         """
-        if self._pricer is not None:
-            scored = self._pricer.score(moves)
-            if scored is not None:
-                return scored
-        scored = []
-        with WhatIf(self.cache) as trial:
-            for move in moves:
-                trial.apply(move.edit)
-                power = trial.power()
-                delay = self.trial_delay()
-                self.trials += 1
-                scored.append(
-                    (self.objective.score(power, delay, self.power0, self.delay0),
-                     power, delay)
-                )
+        tracer = _trace.ACTIVE
+        span = (tracer.span("search.score_batch", gate=moves[0].gate,
+                            kind=moves[0].kind, moves=len(moves))
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            if self._pricer is not None:
+                scored = self._pricer.score(moves)
+                if scored is not None:
+                    if tracer is not None:
+                        span.note(route="batch")
+                    return scored
+            if tracer is not None:
+                span.note(route="whatif")
+            scored = []
+            with WhatIf(self.cache) as trial:
+                for move in moves:
+                    trial.apply(move.edit)
+                    power = trial.power()
+                    delay = self.trial_delay()
+                    self.trials += 1
+                    scored.append(
+                        (self.objective.score(power, delay, self.power0,
+                                              self.delay0),
+                         power, delay)
+                    )
         return scored
 
     # -- acceptance ---------------------------------------------------
@@ -748,6 +760,14 @@ class _Search:
             retimed=retimed,
             temperature=temperature,
         ))
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "search.accept", gate=move.gate, kind=move.kind,
+                trial=self.trials, delta_power=power_after - self.power,
+                delta_delay=delay_after - self.delay, cone=cone,
+                retimed=retimed, temperature=temperature,
+            )
         self.power = power_after
         self.delay = delay_after
         self.score = self.objective.score(power_after, delay_after,
@@ -788,29 +808,38 @@ def _greedy(state: _Search, max_rounds: Optional[int]) -> int:
         rounds += 1
         queue = sorted(worklist, key=topo_index.__getitem__)
         worklist = set()
-        for name in queue:
-            if state.out_of_budget():
-                break
-            moves = enumerate_moves(state.circuit, name, state.retemplate,
-                                    state.groups)
-            best: Optional[Tuple[float, Move]] = None
-            # Reorder candidates share the gate's template and batch in
-            # one WhatIf; retemplate candidates batch in a second one
-            # (a reorder of the old template cannot legally follow a
-            # swap inside the same trial).
-            for kind in ("reorder", "retemplate"):
-                batch = [m for m in moves if m.kind == kind]
-                if not batch:
-                    continue
-                for move, (score, _, _) in zip(batch, state.score_batch(batch)):
-                    delta = score - state.score
-                    if delta < -_TOL and (best is None or score < best[0]):
-                        best = (score, move)
-            if best is not None:
-                state.accept(best[1])
-                worklist.update(
-                    g for g in state.touched_gates(best[1]) if state.movable(g)
-                )
+        tracer = _trace.ACTIVE
+        span = (tracer.span("search.round", round=rounds, queue=len(queue))
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            accepted_before = len(state.accepted)
+            for name in queue:
+                if state.out_of_budget():
+                    break
+                moves = enumerate_moves(state.circuit, name, state.retemplate,
+                                        state.groups)
+                best: Optional[Tuple[float, Move]] = None
+                # Reorder candidates share the gate's template and batch
+                # in one WhatIf; retemplate candidates batch in a second
+                # one (a reorder of the old template cannot legally
+                # follow a swap inside the same trial).
+                for kind in ("reorder", "retemplate"):
+                    batch = [m for m in moves if m.kind == kind]
+                    if not batch:
+                        continue
+                    for move, (score, _, _) in zip(batch,
+                                                   state.score_batch(batch)):
+                        delta = score - state.score
+                        if delta < -_TOL and (best is None or score < best[0]):
+                            best = (score, move)
+                if best is not None:
+                    state.accept(best[1])
+                    worklist.update(
+                        g for g in state.touched_gates(best[1])
+                        if state.movable(g)
+                    )
+            if tracer is not None:
+                span.note(accepted=len(state.accepted) - accepted_before)
     return rounds
 
 
@@ -836,21 +865,29 @@ def _anneal(state: _Search, seed: int, initial_temp: float, cooling: float,
         if not moves:
             continue  # unreachable for movable gates; spends budget anyway
         move = moves[int(rng.integers(len(moves)))]
-        with WhatIf(state.cache) as trial:
-            trial.apply(move.edit)
-            power = trial.power()
-            delay = state.trial_delay()
-            state.trials += 1
-            score = state.objective.score(power, delay, state.power0,
-                                          state.delay0)
-            delta = score - state.score
-            if delta <= 0.0 or (
-                temperature > 0.0
-                and rng.random() < math.exp(-delta / temperature)
-            ):
-                accept = True
-            else:
-                accept = False
+        tracer = _trace.ACTIVE
+        span = (tracer.span("search.trial", gate=gate_name, kind=move.kind,
+                            step=steps)
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            with WhatIf(state.cache) as trial:
+                trial.apply(move.edit)
+                power = trial.power()
+                delay = state.trial_delay()
+                state.trials += 1
+                score = state.objective.score(power, delay, state.power0,
+                                              state.delay0)
+                delta = score - state.score
+                if delta <= 0.0 or (
+                    temperature > 0.0
+                    and rng.random() < math.exp(-delta / temperature)
+                ):
+                    accept = True
+                else:
+                    accept = False
+            if tracer is not None:
+                span.note(accept=accept, delta_score=delta,
+                          temperature=temperature)
         # Rolled back either way; committing inside the trial would skip
         # the trace bookkeeping, so accepted moves re-apply for real.
         if accept:
@@ -894,6 +931,22 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
     }
     outcomes = run_restarts(circuit, input_stats, seed, restarts, jobs, params)
     best = min(outcomes, key=lambda entry: (entry["score"], entry["index"]))
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        # Worker processes stay silent (the tracer's pid guard), so the
+        # parent records one instant per restart outcome plus the merge
+        # decision; per-restart wall time rides along in the outcome
+        # dicts and never reaches the artifact (summaries select
+        # explicit keys below).
+        for entry in outcomes:
+            tracer.instant(
+                "portfolio.restart", index=entry["index"],
+                seed=entry["seed"], score=entry["score"],
+                trials=entry["trials"], accepted=entry["accepted_count"],
+                elapsed_s=entry.get("elapsed_s", 0.0),
+            )
+        tracer.instant("portfolio.merge", restarts=len(outcomes), jobs=jobs,
+                       winner=best["index"], score=best["score"])
 
     work = circuit.copy()
     accepted = [AcceptedMove(**dict(move)) for move in best["moves"]]
@@ -1073,13 +1126,29 @@ def search_circuit(
                         max_trials, max_moves,
                         batch_pricing=use_compiled(compiled))
         rounds = 0
-        if strategy == "greedy":
-            rounds = _greedy(state, max_rounds)
-        else:
-            rounds = _anneal(state, seed, initial_temp, cooling,
-                             moves_per_temp, anneal_trials)
-            if polish and not state.out_of_budget():
-                rounds += _greedy(state, max_rounds)
+        tracer = _trace.ACTIVE
+        span = (tracer.span("search", circuit=cache.circuit.name,
+                            gates=len(cache.circuit), strategy=strategy,
+                            objective=resolved.name,
+                            backend=cache.backend.name, seed=seed)
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            if strategy == "greedy":
+                rounds = _greedy(state, max_rounds)
+            else:
+                rounds = _anneal(state, seed, initial_temp, cooling,
+                                 moves_per_temp, anneal_trials)
+                if polish and not state.out_of_budget():
+                    rounds += _greedy(state, max_rounds)
+            if tracer is not None:
+                span.note(trials=state.trials, rounds=rounds,
+                          accepted=len(state.accepted))
+        if tracer is not None:
+            tracer.metrics({
+                **cache.metrics.snapshot(),
+                **timing.metrics.snapshot(),
+                **_GLOBAL_METRICS.snapshot(),
+            })
         power_after = cache.total_power()
         delay_after = timing.delay()
         result = SearchResult(

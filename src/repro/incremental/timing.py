@@ -33,6 +33,8 @@ import numpy as np
 
 from ..circuit.netlist import Circuit
 from ..circuit.topology import FanoutIndex
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
 from ..timing.sta import TimingReport, gate_arrival, net_load, timing_context
 
 __all__ = ["TimingCache"]
@@ -106,13 +108,25 @@ class TimingCache:
         self._dirty: set = set()
         self._required: Optional[Dict[str, float]] = None
         self._required_clock: Optional[float] = None
-        #: Total gate arrivals recomputed by :meth:`refresh` calls (the
-        #: benchmark's cone-size measure); the initial full sweep is
-        #: not counted.
-        self.gates_retimed = 0
-        self.refresh_count = 0
+        #: Per-cache work counters (:mod:`repro.obs.metrics`); the
+        #: ``timing.gates_retimed`` counter backs the property below so
+        #: artifact fields and metrics snapshots cannot drift.
+        self.metrics = MetricsRegistry()
+        self._retimed = self.metrics.counter("timing.gates_retimed")
+        self._refreshes = self.metrics.counter("timing.refresh_count")
         circuit.add_edit_listener(self._on_edit)
         self._subscribed = True
+
+    @property
+    def gates_retimed(self) -> int:
+        """Total gate arrivals recomputed by :meth:`refresh` calls (the
+        benchmark's cone-size measure); the initial full sweep is not
+        counted."""
+        return self._retimed.value
+
+    @property
+    def refresh_count(self) -> int:
+        return self._refreshes.value
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -199,33 +213,42 @@ class TimingCache:
         if self._cc is not None:
             return self._refresh_compiled()
         order = self._topo_index
-        heap = [order[name] for name in self._dirty]
-        heapq.heapify(heap)
-        queued = set(self._dirty)
-        self._dirty.clear()
-        recomputed = 0
-        changed: List[str] = []
-        while heap:
-            gate = self._topo[heapq.heappop(heap)]
-            arrival, pred = gate_arrival(gate, self._arrivals, self.tech,
-                                         self._load(gate.output))
-            recomputed += 1
-            if arrival != self._arrivals[gate.output]:
-                self._arrivals[gate.output] = arrival
-                self._pred[gate.output] = pred
-                changed.append(gate.output)
-                for sink in self.index.gate_sinks(gate.name):
-                    if sink.name not in queued:
-                        queued.add(sink.name)
-                        heapq.heappush(heap, order[sink.name])
-            else:
-                # Arrival unchanged: downstream inputs are bit-identical,
-                # so downstream results are too — stop descending.  The
-                # latest-arriving pin can still have shifted (an exact
-                # tie), so the predecessor is updated regardless.
-                self._pred[gate.output] = pred
-        self.gates_retimed += recomputed
-        self.refresh_count += 1
+        tracer = _trace.ACTIVE
+        span = (tracer.span("timing.refresh", seeds=len(self._dirty),
+                            backend="object")
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            heap = [order[name] for name in self._dirty]
+            heapq.heapify(heap)
+            queued = set(self._dirty)
+            self._dirty.clear()
+            recomputed = 0
+            changed: List[str] = []
+            while heap:
+                gate = self._topo[heapq.heappop(heap)]
+                arrival, pred = gate_arrival(gate, self._arrivals, self.tech,
+                                             self._load(gate.output))
+                recomputed += 1
+                if arrival != self._arrivals[gate.output]:
+                    self._arrivals[gate.output] = arrival
+                    self._pred[gate.output] = pred
+                    changed.append(gate.output)
+                    for sink in self.index.gate_sinks(gate.name):
+                        if sink.name not in queued:
+                            queued.add(sink.name)
+                            heapq.heappush(heap, order[sink.name])
+                else:
+                    # Arrival unchanged: downstream inputs are bit-identical,
+                    # so downstream results are too — stop descending.  The
+                    # latest-arriving pin can still have shifted (an exact
+                    # tie), so the predecessor is updated regardless.
+                    self._pred[gate.output] = pred
+            if tracer is not None:
+                # The early-cutoff health metric: recomputed - changed
+                # gates are where descent stopped.
+                span.note(recomputed=recomputed, changed=len(changed))
+        self._retimed.inc(recomputed)
+        self._refreshes.inc()
         self._required = None
         return tuple(changed)
 
@@ -240,41 +263,48 @@ class TimingCache:
         """
         cc = self._cc
         arr = self._arr
-        loads = cc.net_loads(self.tech, self.po_load)
-        frontier: Dict[int, set] = {}
-        queued = set()
-        for name in self._dirty:
-            gid = cc.gate_id[name]
-            queued.add(gid)
-            frontier.setdefault(int(cc.level[gid]), set()).add(gid)
-        self._dirty.clear()
-        recomputed = 0
-        changed_gids: List[int] = []
-        while frontier:
-            level = min(frontier)
-            ids = np.fromiter(frontier.pop(level), dtype=np.int64)
-            gids, out_ids, arrivals, pred_nets = cc.retime_gates(
-                ids, arr, loads, self.tech)
-            recomputed += len(gids)
-            old = arr[out_ids]
-            arr[out_ids] = arrivals
-            moved = arrivals != old
-            for k in range(len(gids)):
-                out_name = cc.nets[int(out_ids[k])]
-                # The latest-arriving pin can shift on an exact tie, so
-                # the predecessor updates even when the arrival did not.
-                self._pred[out_name] = cc.nets[int(pred_nets[k])]
-                if moved[k]:
-                    self._arrivals[out_name] = float(arrivals[k])
-                    changed_gids.append(int(gids[k]))
-                    for sink in cc.gate_sinks(int(gids[k])):
-                        sink = int(sink)
-                        if sink not in queued:
-                            queued.add(sink)
-                            frontier.setdefault(
-                                int(cc.level[sink]), set()).add(sink)
-        self.gates_retimed += recomputed
-        self.refresh_count += 1
+        tracer = _trace.ACTIVE
+        span = (tracer.span("timing.refresh", seeds=len(self._dirty),
+                            backend="compiled")
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            loads = cc.net_loads(self.tech, self.po_load)
+            frontier: Dict[int, set] = {}
+            queued = set()
+            for name in self._dirty:
+                gid = cc.gate_id[name]
+                queued.add(gid)
+                frontier.setdefault(int(cc.level[gid]), set()).add(gid)
+            self._dirty.clear()
+            recomputed = 0
+            changed_gids: List[int] = []
+            while frontier:
+                level = min(frontier)
+                ids = np.fromiter(frontier.pop(level), dtype=np.int64)
+                gids, out_ids, arrivals, pred_nets = cc.retime_gates(
+                    ids, arr, loads, self.tech)
+                recomputed += len(gids)
+                old = arr[out_ids]
+                arr[out_ids] = arrivals
+                moved = arrivals != old
+                for k in range(len(gids)):
+                    out_name = cc.nets[int(out_ids[k])]
+                    # The latest-arriving pin can shift on an exact tie, so
+                    # the predecessor updates even when the arrival did not.
+                    self._pred[out_name] = cc.nets[int(pred_nets[k])]
+                    if moved[k]:
+                        self._arrivals[out_name] = float(arrivals[k])
+                        changed_gids.append(int(gids[k]))
+                        for sink in cc.gate_sinks(int(gids[k])):
+                            sink = int(sink)
+                            if sink not in queued:
+                                queued.add(sink)
+                                frontier.setdefault(
+                                    int(cc.level[sink]), set()).add(sink)
+            if tracer is not None:
+                span.note(recomputed=recomputed, changed=len(changed_gids))
+        self._retimed.inc(recomputed)
+        self._refreshes.inc()
         self._required = None
         # Heap pops report changed nets in topological order; match it.
         changed_gids.sort(key=lambda gid: cc.topo_index[gid])

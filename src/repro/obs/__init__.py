@@ -1,0 +1,43 @@
+"""``repro.obs`` — tracing, metrics and profiling with zero cost when off.
+
+The engine's observability layer, three pieces (see README.md):
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
+  (fixed bucket edges, byte-stable snapshots) and the registries that
+  unify the work counters previously scattered across ``StatsCache``,
+  ``TimingCache``, the search engine and the compiled kernels;
+* :mod:`repro.obs.trace` — the JSONL span tracer
+  (``REPRO_TRACE=path`` / ``repro ... --trace path``), a strict no-op
+  while disabled;
+* :mod:`repro.obs.summarize` — the ``repro trace summarize`` reducer:
+  per-span-name count/total/self/p50/p95 plus the slowest spans.
+
+The contract that makes instrumentation safe to leave in hot paths:
+**off means off** (one module-global read and an ``is not None`` test;
+no allocations — held to < 2% of ``bench_eco_search`` by
+``benchmarks/bench_obs_overhead.py``) and **tracing never touches
+artifacts** (timestamps exist only in the trace stream; result JSON is
+byte-identical with tracing on, locked by ``tests/test_obs.py``).
+"""
+
+from . import metrics, summarize, trace
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Tracer, disable, enable, enabled, instant, span, start
+
+__all__ = [
+    "metrics",
+    "trace",
+    "summarize",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Tracer",
+    "span",
+    "instant",
+    "enabled",
+    "enable",
+    "disable",
+    "start",
+]

@@ -1,0 +1,208 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One shared vocabulary for the work counters that used to live scattered
+across the engine (``StatsCache.gates_repropagated``,
+``TimingCache.gates_retimed``, ``OptimizeResult.gates_decided``, the
+compiled kernels' invocation counts, ...).  Three metric kinds:
+
+:class:`Counter`    a monotonically increasing integer (work done);
+:class:`Gauge`      a point-in-time value (last batch size, queue depth);
+:class:`Histogram`  a distribution over **fixed bucket edges** chosen at
+                    construction — never derived from the observed data —
+                    so two runs observing the same values produce
+                    byte-identical snapshots.
+
+Metrics are *always on*: an increment is a slotted-attribute ``+=``
+(no locks, no dict allocations, no branching on an enabled flag), cheap
+enough to live inside the dirty-cone refresh loops.  Everything
+run-varying — wall-clock durations — belongs in the trace stream
+(:mod:`repro.obs.trace`), never in a metric: snapshots are pure
+functions of the work performed, so they can sit next to artifact
+fields without breaking byte-stability.
+
+Two scopes:
+
+* **per-instance registries** — each ``StatsCache`` / ``TimingCache``
+  owns a :class:`MetricsRegistry` so concurrent caches (portfolio
+  workers, nested searches) never share counters;
+* the **process-global** :data:`REGISTRY` — for code without a natural
+  owner (the compiled kernels), mirrored into the trace stream's final
+  metrics record.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SIZE_EDGES",
+]
+
+#: Default bucket edges for size-like distributions (cone sizes, kernel
+#: batch sizes): powers of two.  Fixed here — not derived from data —
+#: so histogram snapshots are byte-stable across runs and inputs.
+SIZE_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 4096.0, 16384.0, 65536.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def since(self, checkpoint: int) -> int:
+        """Work done since a previously read :attr:`value`.
+
+        The one delta idiom every caller shares (per-edit cones, per-move
+        retime counts, per-search totals), so the artifact numbers and
+        the metrics snapshot cannot drift: both read the same counter.
+        """
+        return self._value - checkpoint
+
+    def snapshot(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A point-in-time value metric (last observed, not accumulated)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """A distribution metric over fixed bucket edges.
+
+    ``edges`` must be strictly increasing; an observation lands in the
+    first bucket whose upper edge is >= the value (the last bucket is
+    the open overflow bucket).  Because the edges are fixed at
+    construction, :meth:`snapshot` is a pure function of the observed
+    values — byte-stable across runs for deterministic workloads.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+
+    def __init__(self, name: str, edges: Sequence[float] = SIZE_EDGES):
+        edges = tuple(float(e) for e in edges)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.name = name
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named set of metrics with get-or-create accessors.
+
+    Asking twice for the same name returns the same object; asking for
+    an existing name as a different kind raises (one name, one meaning).
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind, factory) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  edges: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get(
+            name, Histogram,
+            lambda: Histogram(name, SIZE_EDGES if edges is None else edges),
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(sorted(self._metrics))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Name -> value map in sorted-name order (canonical-JSON ready)."""
+        return {name: self._metrics[name].snapshot() for name in self}
+
+    def reset(self) -> None:
+        """Forget all metrics (tests and fresh benchmark phases)."""
+        self._metrics.clear()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+#: The process-global registry: kernel invocation counts and other
+#: metrics with no per-instance owner.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,202 @@
+"""Trace-stream digestion: the ``repro trace summarize`` backend.
+
+Reads a JSONL trace (see :mod:`repro.obs.trace` for the event schema)
+and reduces it to a per-span-name table — count, total time, self time
+(total minus the time spent in child spans), p50 and p95 — plus a
+top-N list of the slowest individual spans, so a trace is readable
+without any external tooling.
+
+Everything here is deterministic for a given input file: span rows are
+ordered by descending total time with the span name as tie-break, the
+slowest list by descending duration then timestamp, and percentiles use
+the nearest-rank method (no interpolation), so the summary of a stored
+trace is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "SpanStats",
+    "TraceSummary",
+    "read_records",
+    "summarize_records",
+    "summarize_file",
+    "render_summary",
+]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every completed span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+    errors: int = 0
+    durations: List[int] = field(default_factory=list)
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank percentile of the span durations (deterministic)."""
+        return _nearest_rank(sorted(self.durations), q)
+
+
+def _nearest_rank(ordered: List[int], q: float) -> int:
+    """``q`` in (0, 1]: the nearest-rank percentile of a sorted list.
+
+    Rank = ceil(q * n) computed in integer math (q arrives as a
+    two-decimal fraction), so no float rounding can move a rank.
+    """
+    if not ordered:
+        return 0
+    n = len(ordered)
+    rank = -((-n * int(round(q * 100))) // 100)  # ceil(n * q)
+    return ordered[min(n, max(1, rank)) - 1]
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`render_summary` needs, in deterministic order."""
+
+    spans: List[SpanStats]
+    slowest: List[Tuple[int, int, str, int]]
+    """``(dur_ns, ts_ns, name, depth)`` of individual spans, slowest first."""
+
+    records: int = 0
+    instants: int = 0
+    unclosed: List[str] = field(default_factory=list)
+    """Names of spans begun but never ended (a crashed or truncated run)."""
+
+    metrics: Optional[Dict[str, object]] = None
+    """The last metrics-snapshot (``M``) record's payload, if any."""
+
+
+def read_records(path: str) -> Iterator[dict]:
+    """Yield the JSON records of a trace file, skipping malformed lines.
+
+    A trace cut short mid-line (a killed process) should still
+    summarize; the damaged tail is dropped, not fatal.
+    """
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+
+def summarize_records(records: Iterable[dict]) -> TraceSummary:
+    """Reduce an event stream to per-name statistics and a slowest list."""
+    stats: Dict[str, SpanStats] = {}
+    #: Open-span stack entries: ``[name, child_ns]`` — child time
+    #: accumulates as nested spans end, so self = dur - child_ns.
+    stack: List[List[object]] = []
+    slowest: List[Tuple[int, int, str, int]] = []
+    count = 0
+    instants = 0
+    metrics: Optional[Dict[str, object]] = None
+    for record in records:
+        count += 1
+        ev = record.get("ev")
+        if ev == "B":
+            stack.append([record.get("name", "?"), 0])
+        elif ev == "E":
+            name = record.get("name", "?")
+            dur = int(record.get("dur_ns", 0))
+            child_ns = 0
+            # Tolerate streams whose B was lost (truncated head): only
+            # pop when the top matches this span's name.
+            if stack and stack[-1][0] == name:
+                child_ns = int(stack.pop()[1])
+            if stack:
+                stack[-1][1] += dur
+            entry = stats.get(name)
+            if entry is None:
+                entry = stats[name] = SpanStats(name)
+            entry.count += 1
+            entry.total_ns += dur
+            entry.self_ns += dur - child_ns
+            entry.durations.append(dur)
+            if record.get("error"):
+                entry.errors += 1
+            slowest.append((dur, int(record.get("ts_ns", 0)), name,
+                            int(record.get("depth", 0))))
+        elif ev == "I":
+            instants += 1
+        elif ev == "M":
+            payload = record.get("metrics")
+            if isinstance(payload, dict):
+                metrics = payload
+    slowest.sort(key=lambda item: (-item[0], item[1], item[2]))
+    ordered = sorted(stats.values(), key=lambda s: (-s.total_ns, s.name))
+    return TraceSummary(
+        spans=ordered,
+        slowest=slowest,
+        records=count,
+        instants=instants,
+        unclosed=[str(entry[0]) for entry in stack],
+        metrics=metrics,
+    )
+
+
+def summarize_file(path: str) -> TraceSummary:
+    return summarize_records(read_records(path))
+
+
+def _ms(ns: int) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+def render_summary(summary: TraceSummary, top: int = 10) -> str:
+    """The human-readable report of ``repro trace summarize``."""
+    from ..analysis.report import format_table
+
+    lines: List[str] = []
+    rows = [
+        (
+            entry.name,
+            entry.count,
+            _ms(entry.total_ns),
+            _ms(entry.self_ns),
+            _ms(entry.percentile(0.50)),
+            _ms(entry.percentile(0.95)),
+        )
+        for entry in summary.spans
+    ]
+    lines.append(format_table(
+        ("span", "count", "total ms", "self ms", "p50 ms", "p95 ms"),
+        rows,
+        title=f"trace summary - {summary.records} records, "
+              f"{summary.instants} instants",
+    ))
+    if summary.slowest:
+        lines.append("")
+        lines.append(format_table(
+            ("dur ms", "at ms", "depth", "span"),
+            [
+                (_ms(dur), _ms(ts), depth, name)
+                for dur, ts, name, depth in summary.slowest[:top]
+            ],
+            title=f"slowest spans (top {min(top, len(summary.slowest))})",
+        ))
+    if summary.unclosed:
+        lines.append("")
+        lines.append(
+            f"WARNING: {len(summary.unclosed)} span(s) never closed: "
+            + ", ".join(summary.unclosed)
+        )
+    if summary.metrics is not None:
+        lines.append("")
+        lines.append("final metrics snapshot:")
+        for name in sorted(summary.metrics):
+            lines.append(f"  {name} = {summary.metrics[name]}")
+    return "\n".join(lines) + "\n"

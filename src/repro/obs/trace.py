@@ -1,0 +1,286 @@
+"""The span tracer: JSON-lines trace events, zero overhead when off.
+
+A *span* brackets one unit of work — a cache refresh, a candidate
+batch, a greedy round — with monotonic timestamps, a nesting depth and
+a dict of attributes::
+
+    tracer = trace.ACTIVE
+    span = tracer.span("stats.refresh", gates=cone) if tracer is not None \
+        else trace.NULL_SPAN
+    with span:
+        ...                       # the work being measured
+
+Cold call sites can use the module-level convenience
+:func:`span` / :func:`instant` directly; hot paths use the explicit
+``ACTIVE``-guard above so the disabled path is one global read, one
+``is not None`` test and a no-op context manager — **no kwargs dict is
+ever built** (the zero-overhead contract
+``benchmarks/bench_obs_overhead.py`` holds to < 2% of
+``bench_eco_search``'s wall time).
+
+The stream is JSON lines, one record per event, in emission order:
+
+==  ====================================================================
+ev  record
+==  ====================================================================
+B   span begin — ``name``, ``ts_ns``, ``depth``, optional ``attrs``
+E   span end — ``name``, ``ts_ns``, ``depth``, ``dur_ns``, optional
+    ``attrs`` (added via :meth:`Span.note`), ``error: true`` if the
+    body raised
+I   instant event — ``name``, ``ts_ns``, ``depth``, optional ``attrs``
+M   metrics snapshot — ``metrics`` (a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` map)
+==  ====================================================================
+
+``ts_ns`` is ``time.perf_counter_ns()`` relative to the tracer's
+creation: monotonic, meaningless across processes, and **never copied
+into result artifacts** — enabling tracing must not perturb a single
+artifact byte (``tests/test_obs.py`` locks this).  Spans are
+exception-safe: a raising body still emits the E record (flagged
+``error``), so the stream never carries dangling spans.  Worker
+processes that inherit an enabled tracer over ``fork`` detect the pid
+change and go silent instead of interleaving writes into the parent's
+stream.
+
+Enable with ``REPRO_TRACE=path`` (the CLI honours it for every
+subcommand) or ``--trace path`` on ``repro search|eco|optimize|bench``,
+or programmatically via :func:`enable`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Mapping, Optional, Union
+
+__all__ = [
+    "ENV_VAR",
+    "ACTIVE",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "active",
+    "enabled",
+    "span",
+    "instant",
+    "enable",
+    "disable",
+    "start",
+]
+
+ENV_VAR = "REPRO_TRACE"
+
+
+class _NullSpan:
+    """The no-op span: a shared singleton, nothing allocated per use."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **attrs) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+#: The process-wide live tracer, or ``None`` when tracing is off.  Hot
+#: paths read this attribute directly and skip all further work on
+#: ``None``.
+ACTIVE: Optional["Tracer"] = None
+
+
+class Span:
+    """One live span of an enabled tracer (use as a context manager)."""
+
+    __slots__ = ("tracer", "name", "attrs", "_end_attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._end_attrs: Optional[dict] = None
+        self._start = 0
+        self._depth = 0
+
+    def note(self, **attrs) -> None:
+        """Attach attributes that are only known at span end (emitted on E)."""
+        if self._end_attrs is None:
+            self._end_attrs = attrs
+        else:
+            self._end_attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self._depth = tracer._depth
+        tracer._depth += 1
+        self._start = time.perf_counter_ns()
+        record = {
+            "ev": "B",
+            "name": self.name,
+            "ts_ns": self._start - tracer._t0,
+            "depth": self._depth,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        tracer._emit(record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        now = time.perf_counter_ns()
+        tracer = self.tracer
+        tracer._depth = self._depth
+        record = {
+            "ev": "E",
+            "name": self.name,
+            "ts_ns": now - tracer._t0,
+            "depth": self._depth,
+            "dur_ns": now - self._start,
+        }
+        if self._end_attrs:
+            record["attrs"] = self._end_attrs
+        if exc_type is not None:
+            record["error"] = True
+        tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """A JSONL trace-event writer bound to one file handle and one pid."""
+
+    def __init__(self, sink: Union[str, IO[str]]):
+        if isinstance(sink, str):
+            directory = os.path.dirname(os.path.abspath(sink))
+            os.makedirs(directory, exist_ok=True)
+            self._handle: IO[str] = open(sink, "w")
+            self._owns_handle = True
+            self.path: Optional[str] = sink
+        else:
+            self._handle = sink
+            self._owns_handle = False
+            self.path = None
+        self._pid = os.getpid()
+        self._t0 = time.perf_counter_ns()
+        self._depth = 0
+        self._closed = False
+        #: Records emitted so far (the overhead benchmark counts the
+        #: instrumentation touchpoints a workload hits through this).
+        self.records = 0
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        if self._closed:
+            return
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.records += 1
+
+    def span(self, name: str, **attrs) -> Union[Span, _NullSpan]:
+        """A new span (or the null span in a forked child process)."""
+        if os.getpid() != self._pid:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def instant(self, name: str, **attrs) -> None:
+        """Emit one point-in-time event at the current depth."""
+        if os.getpid() != self._pid:
+            return
+        record = {
+            "ev": "I",
+            "name": name,
+            "ts_ns": time.perf_counter_ns() - self._t0,
+            "depth": self._depth,
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def metrics(self, snapshot: Mapping[str, object]) -> None:
+        """Emit a metrics-snapshot record (sorted keys, canonical form)."""
+        if os.getpid() != self._pid:
+            return
+        self._emit({
+            "ev": "M",
+            "ts_ns": time.perf_counter_ns() - self._t0,
+            "metrics": dict(snapshot),
+        })
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._handle.flush()
+            if self._owns_handle:
+                self._handle.close()
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.path!r}, records={self.records})"
+
+
+# ----------------------------------------------------------------------
+# Module-level switchboard
+# ----------------------------------------------------------------------
+def active() -> Optional[Tracer]:
+    """The live tracer, or ``None`` — the hot-path guard reads this."""
+    return ACTIVE
+
+
+def enabled() -> bool:
+    return ACTIVE is not None
+
+
+def span(name: str, **attrs) -> Union[Span, _NullSpan]:
+    """Convenience span for cold call sites (CLI, per-edit drivers).
+
+    Hot loops should use the explicit ``ACTIVE`` guard instead: this
+    form builds the kwargs dict before discovering tracing is off.
+    """
+    tracer = ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def instant(name: str, **attrs) -> None:
+    tracer = ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **attrs)
+
+
+def enable(sink: Union[str, IO[str]]) -> Tracer:
+    """Open a tracer on ``sink`` (path or file object) and make it live.
+
+    Any previously live tracer is closed first — one stream per process.
+    """
+    global ACTIVE
+    if ACTIVE is not None:
+        ACTIVE.close()
+    ACTIVE = Tracer(sink)
+    return ACTIVE
+
+
+def disable() -> None:
+    """Close and clear the live tracer (idempotent)."""
+    global ACTIVE
+    if ACTIVE is not None:
+        ACTIVE.close()
+        ACTIVE = None
+
+
+def start(path: Optional[str] = None) -> Optional[Tracer]:
+    """Resolve a ``--trace`` argument against the ``REPRO_TRACE`` flag.
+
+    An explicit ``path`` wins; otherwise the environment variable, if
+    set and non-empty, supplies one; otherwise tracing stays off and
+    ``None`` is returned.
+    """
+    if path is None:
+        path = os.environ.get(ENV_VAR) or None
+    if path is None:
+        return None
+    return enable(path)

@@ -383,3 +383,103 @@ class TestSearchCommand:
         restarts = next(a for a in search._actions
                         if "--restarts" in a.option_strings)
         assert f"default {DEFAULT_RESTARTS} when --jobs" in restarts.help
+
+
+class TestTraceCLI:
+    """--trace / REPRO_TRACE plumbing and the trace summarize subcommand."""
+
+    def write_blif(self, tmp_path):
+        blif = tmp_path / "fa.blif"
+        blif.write_text(FA_BLIF)
+        return str(blif)
+
+    def test_trace_flag_writes_trace_without_perturbing_artifact(
+            self, tmp_path):
+        from repro.bench.runner import dumps_artifact, load_artifact, \
+            strip_timing
+        from repro.obs import trace
+        from repro.obs.summarize import summarize_file
+
+        blif = self.write_blif(tmp_path)
+        plain_out = tmp_path / "plain.json"
+        traced_out = tmp_path / "traced.json"
+        trace_path = tmp_path / "run.jsonl"
+
+        code, plain_text = run_cli("search", blif, "--out", str(plain_out))
+        assert code == 0
+        code, traced_text = run_cli("search", blif, "--out", str(traced_out),
+                                    "--trace", str(trace_path))
+        assert code == 0
+        # tracing must not change a byte of the report or the artifact
+        assert traced_text.replace(str(traced_out), str(plain_out)) == \
+            plain_text
+        assert dumps_artifact(strip_timing(load_artifact(str(traced_out)))) \
+            == dumps_artifact(strip_timing(load_artifact(str(plain_out))))
+        # the tracer is closed and cleared once main() returns
+        assert trace.ACTIVE is None
+        summary = summarize_file(str(trace_path))
+        assert summary.records > 0
+        assert summary.unclosed == []
+        assert any(entry.name == "search" for entry in summary.spans)
+
+    def test_env_var_enables_tracing(self, tmp_path, monkeypatch):
+        from repro.obs import trace
+        from repro.obs.summarize import summarize_file
+
+        blif = self.write_blif(tmp_path)
+        trace_path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(trace.ENV_VAR, str(trace_path))
+        code, _ = run_cli("optimize", blif)
+        assert code == 0
+        assert trace.ACTIVE is None
+        assert summarize_file(str(trace_path)).records > 0
+
+    def test_trace_summarize_renders_table(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        trace_path = tmp_path / "run.jsonl"
+        run_cli("search", blif, "--trace", str(trace_path))
+        code, text = run_cli("trace", "summarize", str(trace_path),
+                             "--top", "3")
+        assert code == 0
+        assert "trace summary" in text
+        assert "slowest spans (top 3)" in text
+        assert "search" in text
+        assert "final metrics snapshot:" in text
+        assert "stats.refresh_count" in text
+        # byte-deterministic: summarizing the same file twice matches
+        code, again = run_cli("trace", "summarize", str(trace_path),
+                              "--top", "3")
+        assert text == again
+
+    def test_trace_summarize_missing_file_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace summarize"):
+            run_cli("trace", "summarize", str(tmp_path / "nope.jsonl"))
+
+    def test_trace_summarize_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_eco_artifact_unperturbed_by_tracing(self, tmp_path):
+        import json
+
+        from repro.bench.runner import dumps_artifact, load_artifact, \
+            strip_timing
+
+        blif = tmp_path / "fa.blif"
+        blif.write_text(FA_BLIF)
+        script_path = tmp_path / "edits.json"
+        script_path.write_text(json.dumps([
+            {"op": "reorder", "gate": "g0", "config": 1},
+            {"op": "reorder", "gate": "g1", "config": 0},
+        ]))
+        plain_out = tmp_path / "plain.json"
+        traced_out = tmp_path / "traced.json"
+        code, _ = run_cli("eco", str(blif), str(script_path),
+                          "--out", str(plain_out))
+        assert code == 0
+        code, _ = run_cli("eco", str(blif), str(script_path),
+                          "--out", str(traced_out),
+                          "--trace", str(tmp_path / "eco.jsonl"))
+        assert code == 0
+        assert dumps_artifact(strip_timing(load_artifact(str(traced_out)))) \
+            == dumps_artifact(strip_timing(load_artifact(str(plain_out))))
