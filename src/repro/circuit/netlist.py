@@ -23,12 +23,37 @@ __all__ = [
     "CircuitError",
     "SetConfig",
     "SetTemplate",
+    "AddGate",
+    "RemoveGate",
+    "RewireNet",
+    "StructureEvent",
     "CircuitEdit",
+    "StructuralEdit",
+    "lookup_template",
 ]
 
 
 class CircuitError(ValueError):
     """Raised for structurally invalid netlists."""
+
+
+def lookup_template(library: GateLibrary, name: str) -> GateTemplate:
+    """``library[name]``, with misses routed into :class:`CircuitError`.
+
+    Every edit-algebra entry point (``add_gate``, ``SetTemplate``, eco
+    scripts) resolves template names through here so that a typo in a
+    script or CLI invocation reports the available cells instead of
+    surfacing a raw :class:`KeyError` traceback.  The library's own
+    ``__getitem__`` raises :class:`CircuitError` too; the try/except
+    keeps mapping-like stand-ins (tests, adapters) on the same
+    contract.
+    """
+    try:
+        return library[name]
+    except KeyError:
+        raise CircuitError(
+            f"unknown template {name!r}; available: {', '.join(library.names)}"
+        ) from None
 
 
 # ----------------------------------------------------------------------
@@ -62,8 +87,79 @@ class SetTemplate:
     config: Optional[GateConfig] = None
 
 
+@dataclass(frozen=True)
+class AddGate:
+    """Structural edit: instantiate a new gate.
+
+    ``pin_nets`` is a tuple of ``(pin, net)`` pairs (hashable, unlike a
+    dict) covering exactly the template's pins; every bound net must
+    already be driven.  ``index`` is the creation-order position to
+    insert at (``None`` = append) — the inverse of a :class:`RemoveGate`
+    carries the removed gate's original position so that a rollback
+    restores gate-creation order exactly.  Creation order is load-bearing:
+    it fixes :meth:`Circuit.nets` ordering, topological tie-breaks and
+    therefore every float summation order in the incremental layer.
+    """
+
+    gate: str
+    template: str
+    pin_nets: Tuple[Tuple[str, str], ...]
+    output: str
+    config: Optional[GateConfig] = None
+    index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RemoveGate:
+    """Structural edit: delete a gate whose output has no sinks.
+
+    Only dead gates (output drives no pin and is not a primary output)
+    can be removed — anything else would leave dangling pins.  The
+    inverse is an :class:`AddGate` carrying the full instance state plus
+    its creation-order position.
+    """
+
+    gate: str
+
+
+@dataclass(frozen=True)
+class RewireNet:
+    """Structural edit: rebind one pin of one gate to a different net.
+
+    The new net must already be driven (by a primary input or a gate)
+    and must not depend combinationally on the rewired gate's output.
+    The inverse is the same edit with the old net.
+    """
+
+    gate: str
+    pin: str
+    net: str
+
+
+@dataclass(frozen=True)
+class StructureEvent:
+    """What the last structural edit did, for ``"structure"`` listeners.
+
+    Published on :attr:`Circuit.structure_event` immediately before the
+    listeners fire, so caches can widen their dirty sets precisely:
+    ``load_nets`` are the nets whose external load changed (the edited
+    gate's fanin nets for add/remove, the old and new net for rewire) —
+    their drivers must be power- and timing-dirtied even though their
+    own statistics are untouched.
+    """
+
+    op: str  # "add" | "remove" | "rewire"
+    gate: str
+    output: str
+    load_nets: Tuple[str, ...]
+
+
 #: The edit algebra accepted by :meth:`Circuit.apply_edit`.
-CircuitEdit = (SetConfig, SetTemplate)
+CircuitEdit = (SetConfig, SetTemplate, AddGate, RemoveGate, RewireNet)
+
+#: The connectivity-changing subset — these notify listeners with kind
+#: ``"structure"`` and invalidate the memoised derived structure.
+StructuralEdit = (AddGate, RemoveGate, RewireNet)
 
 
 @dataclass
@@ -114,6 +210,7 @@ class Circuit:
         #: levels, compiled form); cleared by structural mutation.  See
         #: :meth:`fanout_index` / :meth:`topo_gates` / :meth:`gate_levels`.
         self._structure: Dict[str, object] = {}
+        self._structure_event: Optional[StructureEvent] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -142,7 +239,7 @@ class Circuit:
             raise CircuitError(f"net {output!r} has multiple drivers")
         if output in self.inputs:
             raise CircuitError(f"net {output!r} is a primary input")
-        template = self.library[template_name]
+        template = lookup_template(self.library, template_name)
         gate = GateInstance(name, template, dict(pin_nets), output, config)
         self._gates[name] = gate
         self._driver[output] = gate
@@ -226,6 +323,15 @@ class Circuit:
         """The gate driving ``net`` (``None`` for primary inputs)."""
         return self._driver.get(net)
 
+    @property
+    def structure_event(self) -> Optional[StructureEvent]:
+        """The :class:`StructureEvent` of the last structural edit.
+
+        Valid during (and after) a ``"structure"`` listener
+        notification; ``None`` until the first structural edit.
+        """
+        return self._structure_event
+
     def fanin_drivers(self, gate_name: str) -> Tuple[GateInstance, ...]:
         """Unique gates driving ``gate_name``'s fanin nets, in pin order.
 
@@ -288,7 +394,9 @@ class Circuit:
     def add_edit_listener(self, callback: Callable[[str, str], None]) -> None:
         """Register ``callback(gate_name, kind)`` for every applied edit.
 
-        ``kind`` is ``"config"`` or ``"template"``.  Incremental caches
+        ``kind`` is ``"config"``, ``"template"`` or ``"structure"``
+        (the latter for :data:`StructuralEdit` kinds, with the details
+        published on :attr:`structure_event`).  Incremental caches
         (:class:`repro.incremental.StatsCache`) subscribe here so that
         edits through any code path invalidate them.
         """
@@ -298,17 +406,29 @@ class Circuit:
         self._edit_listeners.remove(callback)
 
     def _notify_edit(self, gate_name: str, kind: str) -> None:
-        for callback in self._edit_listeners:
+        # Snapshot: a structure listener may rebuild derived state that
+        # registers its own listener (e.g. TimingCache re-acquiring the
+        # compiled lowering) — the newcomer must not also receive the
+        # in-flight event it was just rebuilt for.
+        for callback in list(self._edit_listeners):
             callback(gate_name, kind)
 
-    def apply_edit(self, edit) -> "SetConfig | SetTemplate":
+    def apply_edit(self, edit):
         """Apply one :data:`CircuitEdit` in place; return its inverse.
 
         The returned edit, applied through this same method, restores
-        the gate exactly (template, pin bindings and configuration) —
+        the circuit exactly — for the local kinds the gate's template,
+        pin bindings and configuration; for the :data:`StructuralEdit`
+        kinds also the gate set, connectivity and gate-creation order
+        (a removed gate is re-added at its original position, keeping
+        every downstream float summation order bit-stable).  This is
         the primitive the :class:`repro.incremental.WhatIf` rollback is
-        built on.  Neither edit kind changes connectivity, so fanout
-        indices and topological orders stay valid.
+        built on.  The local kinds never change connectivity, so fanout
+        indices and topological orders stay valid across them; the
+        structural kinds invalidate the memoised derived structure and
+        notify listeners with kind ``"structure"`` (details on
+        :attr:`structure_event`).  All validation happens before any
+        mutation — a rejected edit leaves the circuit untouched.
         """
         if isinstance(edit, SetConfig):
             gate = self.gate(edit.gate)
@@ -318,7 +438,7 @@ class Circuit:
             return inverse
         if isinstance(edit, SetTemplate):
             gate = self.gate(edit.gate)
-            template = self.library[edit.template]
+            template = lookup_template(self.library, edit.template)
             if len(template.pins) != len(gate.template.pins):
                 raise CircuitError(
                     f"gate {gate.name}: cannot swap {gate.template.name} "
@@ -334,7 +454,104 @@ class Circuit:
             gate.config = edit.config
             self._notify_edit(gate.name, "template")
             return inverse
+        if isinstance(edit, AddGate):
+            return self._apply_add_gate(edit)
+        if isinstance(edit, RemoveGate):
+            return self._apply_remove_gate(edit)
+        if isinstance(edit, RewireNet):
+            return self._apply_rewire(edit)
         raise TypeError(f"unknown edit {edit!r}; expected one of {CircuitEdit}")
+
+    def _apply_add_gate(self, edit: AddGate) -> RemoveGate:
+        pin_nets = dict(edit.pin_nets)
+        undriven = sorted(
+            {net for net in pin_nets.values()
+             if net not in self.inputs and net not in self._driver}
+        )
+        if undriven:
+            raise CircuitError(
+                f"add-gate {edit.gate}: fanin nets {undriven} have no driver"
+            )
+        gate = self.add_gate(edit.gate, edit.template, pin_nets,
+                             edit.output, edit.config)
+        if edit.index is not None and edit.index != len(self._gates) - 1:
+            # Restore the creation-order position (inverse of a remove).
+            names = list(self._gates)
+            names.remove(gate.name)
+            names.insert(edit.index, gate.name)
+            self._gates = {n: self._gates[n] for n in names}
+        self._structure_event = StructureEvent(
+            "add", gate.name, gate.output, tuple(dict.fromkeys(gate.fanin_nets))
+        )
+        self._notify_edit(gate.name, "structure")
+        return RemoveGate(gate.name)
+
+    def _apply_remove_gate(self, edit: RemoveGate) -> AddGate:
+        gate = self.gate(edit.gate)
+        sinks = self.fanout_index().sinks(gate.output)
+        if sinks:
+            names = sorted({g.name for g, _ in sinks})
+            raise CircuitError(
+                f"cannot remove {gate.name}: net {gate.output!r} still "
+                f"drives {names}"
+            )
+        if gate.output in self.outputs:
+            raise CircuitError(
+                f"cannot remove {gate.name}: net {gate.output!r} is a "
+                f"primary output"
+            )
+        inverse = AddGate(
+            gate.name, gate.template.name,
+            tuple((pin, gate.pin_nets[pin]) for pin in gate.template.pins),
+            gate.output, gate.config, index=list(self._gates).index(gate.name),
+        )
+        load_nets = tuple(dict.fromkeys(gate.fanin_nets))
+        del self._gates[gate.name]
+        del self._driver[gate.output]
+        self._invalidate_structure()
+        self._structure_event = StructureEvent(
+            "remove", gate.name, gate.output, load_nets
+        )
+        self._notify_edit(gate.name, "structure")
+        return inverse
+
+    def _apply_rewire(self, edit: RewireNet) -> RewireNet:
+        gate = self.gate(edit.gate)
+        if edit.pin not in gate.template.pins:
+            raise CircuitError(
+                f"gate {gate.name} ({gate.template.name}) has no pin "
+                f"{edit.pin!r}; pins: {', '.join(gate.template.pins)}"
+            )
+        if edit.net not in self.inputs and edit.net not in self._driver:
+            raise CircuitError(
+                f"rewire {gate.name}.{edit.pin}: net {edit.net!r} has no driver"
+            )
+        # The new net must not depend on this gate's output (iterative
+        # walk of the transitive fanin — no recursion, deep chains are
+        # fine; see _check_acyclic).
+        stack = [edit.net]
+        seen = set()
+        while stack:
+            pred = self._driver.get(stack.pop())
+            if pred is None or pred.name in seen:
+                continue
+            if pred is gate:
+                raise CircuitError(
+                    f"rewire {gate.name}.{edit.pin} -> {edit.net!r} would "
+                    f"create a combinational cycle"
+                )
+            seen.add(pred.name)
+            stack.extend(pred.fanin_nets)
+        old_net = gate.pin_nets[edit.pin]
+        inverse = RewireNet(gate.name, edit.pin, old_net)
+        gate.pin_nets[edit.pin] = edit.net
+        self._invalidate_structure()
+        self._structure_event = StructureEvent(
+            "rewire", gate.name, gate.output,
+            tuple(dict.fromkeys((old_net, edit.net))),
+        )
+        self._notify_edit(gate.name, "structure")
+        return inverse
 
     def set_config(self, gate_name: str, config: Optional[GateConfig]) -> SetConfig:
         """Reorder ``gate_name``; returns the inverse edit."""
@@ -362,31 +579,37 @@ class Circuit:
         self._check_acyclic()
 
     def _check_acyclic(self) -> None:
-        state: Dict[str, int] = {}
-
-        def visit(gate: GateInstance) -> None:
-            state[gate.name] = 1
-            for net in gate.fanin_nets:
-                pred = self._driver.get(net)
-                if pred is None:
-                    continue
-                mark = state.get(pred.name, 0)
-                if mark == 1:
-                    raise CircuitError(f"combinational cycle through {pred.name}")
-                if mark == 0:
-                    visit(pred)
-            state[gate.name] = 2
-
-        import sys
-
-        old = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old, 4 * len(self._gates) + 100))
-        try:
-            for gate in self._gates.values():
-                if state.get(gate.name, 0) == 0:
-                    visit(gate)
-        finally:
-            sys.setrecursionlimit(old)
+        # Iterative three-colour DFS.  The recursive form (with a bumped
+        # recursion limit) still exhausted the C stack on deep gate
+        # chains — the same reason topology.topological_gates uses
+        # Kahn's algorithm — so the grey/black marking is driven by an
+        # explicit stack of (gate, fanin-iterator) frames instead.
+        state: Dict[str, int] = {}  # absent=white, 1=grey, 2=black
+        for root in self._gates.values():
+            if state.get(root.name, 0) != 0:
+                continue
+            state[root.name] = 1
+            stack: List[Tuple[GateInstance, Iterator[str]]] = [
+                (root, iter(root.fanin_nets))
+            ]
+            while stack:
+                gate, nets = stack[-1]
+                for net in nets:
+                    pred = self._driver.get(net)
+                    if pred is None:
+                        continue
+                    mark = state.get(pred.name, 0)
+                    if mark == 1:
+                        raise CircuitError(
+                            f"combinational cycle through {pred.name}"
+                        )
+                    if mark == 0:
+                        state[pred.name] = 1
+                        stack.append((pred, iter(pred.fanin_nets)))
+                        break
+                else:
+                    state[gate.name] = 2
+                    stack.pop()
 
     def copy(self, name: Optional[str] = None) -> "Circuit":
         """Deep copy (gate configs included)."""

@@ -124,9 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("blif", help="path to a combinational BLIF file")
     pe.add_argument("script",
                     help="JSON edit script: a list of "
-                         '{"op": "reorder"|"retemplate"|"input-stats"'
+                         '{"op": "reorder"|"retemplate"|"add-gate"'
+                         '|"remove-gate"|"rewire"|"input-stats"'
                          '|"input-arrival", ...} entries (see '
-                         "repro.incremental.eco; input-arrival needs --timing)")
+                         "repro.incremental.eco; input-arrival needs "
+                         "--timing; the structural ops need --backend "
+                         "analytic)")
     pe.add_argument("--scenario", choices=["A", "B"], default="A")
     pe.add_argument("--seed", type=int, default=0)
     pe.add_argument("--backend", choices=["analytic", "sampled"],
@@ -182,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: 32 x movable gates)")
     ps.add_argument("--polish", action="store_true",
                     help="greedy descent after annealing")
+    ps.add_argument("--structural", nargs="+", metavar="FAMILY",
+                    choices=["buffer", "dup", "sweep"],
+                    help="opt-in structural move families run after the "
+                         "main strategy: buffer (insert a buffer on the "
+                         "most-loaded nets), dup (duplicate heavy-fanout "
+                         "drivers), sweep (remove dead gates); needs "
+                         "--backend analytic")
+    ps.add_argument("--structural-nets", type=_positive_int, default=4,
+                    help="top-K loaded nets the buffer/dup families "
+                         "consider (default 4)")
     ps.add_argument("--restarts", type=_positive_int, default=None,
                     help="portfolio mode: run this many CRC-seeded "
                          "annealing restarts and keep the best "
@@ -503,6 +516,10 @@ def _cmd_search(out, args) -> int:
             raise SystemExit("--delay-weight requires --objective power-delay")
         if not 0.0 < args.delay_weight < 1.0:
             raise SystemExit("--delay-weight must lie strictly between 0 and 1")
+    if args.structural and args.backend != "analytic":
+        raise SystemExit("--structural requires --backend analytic (sampled "
+                         "backends cannot maintain statistics across "
+                         "structural edits)")
     portfolio_kwargs = {}
     if args.restarts is not None or args.jobs is not None:
         if args.strategy != "anneal":
@@ -539,6 +556,7 @@ def _cmd_search(out, args) -> int:
         seed=args.seed, retemplate=args.retemplate,
         max_trials=args.max_trials, max_moves=args.max_moves,
         anneal_trials=args.anneal_trials, polish=args.polish,
+        structural=args.structural, structural_nets=args.structural_nets,
         **portfolio_kwargs,
         **backend_kwargs,
     )

@@ -58,11 +58,36 @@ class CompiledAnalyticBackend(AnalyticBackend):
             )
         return stats
 
+    def _rebuild(self, circuit, input_stats, net_stats) -> CompiledCircuit:
+        """Re-lower after a structural edit, seeding from ``net_stats``.
+
+        The previous lowering went stale (gate/net ids changed), but the
+        cache's statistics map is still exact for every surviving net:
+        the floats it holds were read out of these very arrays, so
+        writing them back is lossless.  Nets new to the circuit start at
+        zero — they belong to the dirty cone of this update and are
+        resettled (in level order, before any sink reads them) below.
+        """
+        cc = self._cc = get_compiled(circuit)
+        prob = np.zeros(len(cc.nets))
+        dens = np.zeros(len(cc.nets))
+        for i, net in enumerate(cc.nets):
+            stats = net_stats.get(net)
+            if stats is None and net in input_stats:
+                stats = input_stats[net]
+            if stats is not None:
+                prob[i] = stats.probability
+                dens[i] = stats.density
+        self._prob, self._dens = prob, dens
+        return cc
+
     def update(self, circuit, dirty_gates, input_stats, changed_inputs,
                net_stats):
         cc = self._cc
         if cc is None:
             raise RuntimeError("update() before full()")
+        if cc.stale:
+            cc = self._rebuild(circuit, input_stats, net_stats)
         updates: Dict[str, SignalStats] = {}
         for net in changed_inputs:
             stats = input_stats[net]

@@ -47,7 +47,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..boolean.truthtable import TruthTable, _minterm_matrix
-from ..circuit.netlist import Circuit, GateInstance
+from ..circuit.netlist import Circuit, CircuitError, GateInstance
 from ..gates.capacitance import TechParams, pin_terminal_counts
 from ..gates.network import OUT
 from ..obs.metrics import REGISTRY as _METRICS
@@ -282,6 +282,11 @@ class CompiledCircuit:
 
         circuit.add_edit_listener(self._on_edit)
         self._subscribed = True
+        #: Set by :meth:`close` (structural mutation or explicit
+        #: cleanup): the arrays no longer describe the circuit and the
+        #: batch entry points refuse service instead of silently
+        #: serving stale SoA data.
+        self.stale = False
 
     # ------------------------------------------------------------------
     # Class-code maintenance
@@ -322,6 +327,15 @@ class CompiledCircuit:
         self._seen_config[gid] = gate.config
 
     def _on_edit(self, gate_name: str, kind: str) -> None:
+        if kind == "structure":
+            # Connectivity changed: gate/net ids, CSR arrays and level
+            # groups are all invalid.  The memoised instance is closed
+            # by Circuit._invalidate_structure before listeners fire,
+            # so this only triggers for directly-constructed instances
+            # — mark them stale too instead of patching codes into
+            # arrays that no longer match the circuit.
+            self.close()
+            return
         gid = self.gate_id.get(gate_name)
         if gid is None:  # pragma: no cover - structure memo is invalidated
             return       # before new gates can be edited
@@ -337,6 +351,7 @@ class CompiledCircuit:
         identity of (template, config) is checked per gate, so a clean
         pass costs one comparison per gate.
         """
+        self._check_fresh()
         for gid, gate in enumerate(self.circuit.gates):
             if (gate.template is self._seen_template[gid]
                     and gate.config is self._seen_config[gid]):
@@ -344,10 +359,25 @@ class CompiledCircuit:
             self._apply_gate_codes(gid, gate)
 
     def close(self) -> None:
-        """Detach from the circuit's edit notifications (idempotent)."""
+        """Detach from the circuit's edit notifications (idempotent).
+
+        A closed instance is :attr:`stale`: it can no longer track
+        edits, so its batch entry points raise instead of serving
+        arrays that may not match the circuit.  Re-acquire a fresh
+        lowering through :func:`get_compiled`.
+        """
+        self.stale = True
         if self._subscribed:
             self.circuit.remove_edit_listener(self._on_edit)
             self._subscribed = False
+
+    def _check_fresh(self) -> None:
+        if self.stale:
+            raise CircuitError(
+                f"stale CompiledCircuit for {self.circuit.name!r}: the "
+                f"circuit was structurally edited (or this lowering was "
+                f"closed); re-acquire it with get_compiled(circuit)"
+            )
 
     # ------------------------------------------------------------------
     # Shared gather helpers
@@ -464,6 +494,7 @@ class CompiledCircuit:
         exactly the values the object-graph backend's topological walk
         would read, hence bit-identical updates.
         """
+        self._check_fresh()
         if not len(gate_ids):
             return
         levels = self.level[gate_ids]
@@ -501,6 +532,7 @@ class CompiledCircuit:
         primary-output load lands last, so every entry is bit-identical
         to the object-graph summation for that net.
         """
+        self._check_fresh()
         key = (tech, float(po_load))
         _LOADS_CALLS.inc()
         cached = self._loads_cache.get(key)
@@ -548,6 +580,7 @@ class CompiledCircuit:
         rows concatenated over the internal class grouping (order
         within the level is immaterial — no intra-level dependencies).
         """
+        self._check_fresh()
         parts_g, parts_o, parts_a, parts_p = [], [], [], []
         _RETIME_CALLS.inc()
         _RETIME_SIZES.observe(len(gate_ids))
@@ -620,7 +653,7 @@ def get_compiled(circuit: Circuit) -> CompiledCircuit:
     structural mutation.
     """
     compiled = circuit._structure.get("compiled")
-    if compiled is None:
+    if compiled is None or compiled.stale:
         compiled = CompiledCircuit(circuit)
         circuit._structure["compiled"] = compiled
     return compiled

@@ -139,7 +139,17 @@ class GateLibrary:
         self._templates[template.name] = template
 
     def __getitem__(self, name: str) -> GateTemplate:
-        return self._templates[name]
+        template = self._templates.get(name)
+        if template is None:
+            # Deferred import: circuit.netlist imports this module, so
+            # the error type cannot be imported at module level.
+            from ..circuit.netlist import CircuitError
+
+            raise CircuitError(
+                f"unknown template {name!r}; available: "
+                f"{', '.join(self._templates)}"
+            )
+        return template
 
     def __contains__(self, name: str) -> bool:
         return name in self._templates

@@ -50,6 +50,14 @@ class StatsBackend:
     """Abstract backend; see the module docstring for the contract."""
 
     name = "abstract"
+    #: Whether ``update`` stays correct across structural edits
+    #: (add/remove/rewire).  Stateless backends recompute dirty gates
+    #: from the circuit's current connectivity, so they qualify;
+    #: stateful ones (the sampled backends keep per-net lane histories
+    #: keyed to the old structure) must refuse, and
+    #: :class:`~repro.incremental.cache.StatsCache` raises a clear
+    #: error before any state can go stale.
+    supports_structure = False
 
     def full(self, circuit: Circuit,
              input_stats: Mapping[str, SignalStats]) -> Dict[str, SignalStats]:
@@ -74,6 +82,7 @@ class AnalyticBackend(StatsBackend):
     """
 
     name = "analytic"
+    supports_structure = True
 
     def full(self, circuit, input_stats):
         return local_stats(circuit, input_stats)

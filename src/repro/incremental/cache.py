@@ -8,9 +8,12 @@ under ECO edits.  Invalidation rules (see README.md):
   exactly *g* plus its transitive fanout gates;
 * :meth:`set_input_stats` on input net *x* dirties exactly the gates in
   *x*'s transitive fanout;
-* nothing else dirties anything (the supported edits never change
-  connectivity, so the fanout index and topological order are built
-  once).
+* the structural edits (``AddGate``/``RemoveGate``/``RewireNet``)
+  rebuild the fanout index and topological order, then dirty the
+  edited gate's new cone (add/rewire) — a removed gate's entries are
+  purged instead — plus, power-only, the drivers of every net whose
+  external load changed (the event's ``load_nets``);
+* nothing else dirties anything.
 
 :meth:`refresh` re-propagates the dirty set in topological order via
 the configured backend and is called lazily by every read accessor.
@@ -24,7 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
-from ..circuit.netlist import Circuit
+from ..circuit.netlist import Circuit, CircuitError, StructureEvent
 from ..core.optimizer import CircuitPowerReport
 from ..core.power_model import GatePowerModel, GatePowerReport
 from ..gates.capacitance import net_load
@@ -95,6 +98,7 @@ class StatsCache:
         self.metrics = MetricsRegistry()
         self._repropagated = self.metrics.counter("stats.gates_repropagated")
         self._refreshes = self.metrics.counter("stats.refresh_count")
+        self._structural = self.metrics.counter("eco.structural")
         #: Open :class:`~repro.incremental.eco.WhatIf` trials on this
         #: cache, innermost last; WhatIf uses it to enforce LIFO
         #: unwinding and to hand committed inner undo logs outward.
@@ -118,9 +122,11 @@ class StatsCache:
     def topo_index(self) -> Mapping[str, int]:
         """Gate name -> topological position (treat as read-only).
 
-        The supported edits never change connectivity, so this map is
-        valid for the cache's whole lifetime; the search engine sorts
-        its worklists with it instead of re-levelising the circuit.
+        The local edits never change connectivity, so this map stays
+        valid across them; a structural edit replaces it (re-read the
+        property — the old mapping object is discarded, not patched).
+        The search engine sorts its worklists with it instead of
+        re-levelising the circuit.
         """
         return self._topo_index
 
@@ -128,6 +134,9 @@ class StatsCache:
     # Invalidation
     # ------------------------------------------------------------------
     def _on_edit(self, gate_name: str, kind: str) -> None:
+        if kind == "structure":
+            self._on_structure(gate_name, self.circuit.structure_event)
+            return
         cone = self.index.cone_from_gates([gate_name])
         self._dirty |= cone
         self._power_dirty |= cone
@@ -135,6 +144,45 @@ class StatsCache:
         # capacitances — the load its fanin drivers see — may have too.
         for pred in self.circuit.fanin_drivers(gate_name):
             self._power_dirty.add(pred.name)
+
+    def _on_structure(self, gate_name: str, event: StructureEvent) -> None:
+        """Handle a structural edit: rebuild structure, widen dirty sets.
+
+        The connectivity-derived state (fanout index, topological
+        order) is re-read from the circuit's (freshly invalidated)
+        memo.  Statistics for an added or rewired gate's cone go dirty;
+        a removed gate's cached entries are purged instead.  Drivers of
+        every net in ``event.load_nets`` go power-dirty only — their
+        own (P, D) are untouched, but the external load they see
+        changed.
+        """
+        if not getattr(self.backend, "supports_structure", False):
+            raise CircuitError(
+                f"the {self.backend.name!r} backend cannot maintain "
+                f"statistics across structural edits "
+                f"(add-gate/remove-gate/rewire); use the analytic backend"
+            )
+        self.index = self.circuit.fanout_index()
+        self._topo_index = {
+            g.name: i for i, g in enumerate(self.circuit.topo_gates())
+        }
+        self._structural.inc()
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant("eco.structural", op=event.op, gate=gate_name)
+        if event.op == "remove":
+            self._dirty.discard(gate_name)
+            self._power_dirty.discard(gate_name)
+            self._stats.pop(event.output, None)
+            self._power.pop(gate_name, None)
+        else:
+            cone = self.index.cone_from_gates([gate_name])
+            self._dirty |= cone
+            self._power_dirty |= cone
+        for net in event.load_nets:
+            pred = self.circuit.driver(net)
+            if pred is not None:
+                self._power_dirty.add(pred.name)
 
     def set_input_stats(self, net: str, stats: SignalStats) -> SignalStats:
         """Edit one primary input's statistics; returns the old value."""

@@ -11,14 +11,36 @@ The module also defines the JSON edit-script vocabulary of the
 ``repro eco`` CLI subcommand::
 
     [{"op": "reorder",       "gate": "g3", "config": 2},
-     {"op": "retemplate",    "gate": "g7", "template": "nor2"},
+     {"op": "retemplate",    "gate": "g7", "template": "nor2", "config": 0},
      {"op": "input-stats",   "net": "a", "probability": 0.3, "density": 2e5},
-     {"op": "input-arrival", "net": "a", "arrival": 2.0e-10}]
+     {"op": "input-arrival", "net": "a", "arrival": 2.0e-10},
+     {"op": "add-gate",      "gate": "b0", "template": "inv",
+      "pins": {"a": "n3"}, "output": "n3_buf"},
+     {"op": "remove-gate",   "gate": "g9"},
+     {"op": "rewire",        "gate": "g7", "pin": "b", "net": "n3_buf"}]
 
 ``"config"`` indexes the gate template's deterministic
 :meth:`~repro.gates.library.GateTemplate.configurations` enumeration
-(-1 = the template default).  ``"input-arrival"`` is timing-side only:
-replaying it needs an incremental timing cache (``repro eco --timing``).
+(-1 = the template default); on ``"retemplate"`` and ``"add-gate"`` it
+is optional (omitted = the template default).  Unknown keys in an
+entry are rejected, not ignored — a typo must not silently change what
+a script replays.  ``"input-arrival"`` is timing-side only: replaying
+it needs an incremental timing cache (``repro eco --timing``).
+
+The last three ops are the **structural** vocabulary (serialised forms
+of :class:`~repro.circuit.netlist.AddGate` /
+:class:`~repro.circuit.netlist.RemoveGate` /
+:class:`~repro.circuit.netlist.RewireNet`).  Their invalidation rules:
+an added or rewired gate dirties its (new) transitive fanout cone, a
+removed gate's cached entries are purged, and the drivers of every net
+whose external load changed (the added/removed gate's fanin nets; a
+rewired pin's old and new net) go power- and timing-dirty.  Structural
+edits rebuild the circuit's memoised fanout index / topological order,
+and both caches re-read them; only backends with
+``supports_structure`` (the analytic engines — object and compiled)
+accept them, and :meth:`WhatIf.apply` refuses up front for the rest
+(the sampled backends keep per-net lane histories keyed to the old
+structure), before anything mutates.
 """
 
 from __future__ import annotations
@@ -26,7 +48,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence, Union
 
-from ..circuit.netlist import Circuit, SetConfig, SetTemplate
+from ..circuit.netlist import (
+    AddGate,
+    Circuit,
+    CircuitError,
+    RemoveGate,
+    RewireNet,
+    SetConfig,
+    SetTemplate,
+    StructuralEdit,
+    lookup_template,
+)
 from ..stochastic.signal import SignalStats
 from .cache import StatsCache
 from .timing import TimingCache
@@ -64,7 +96,8 @@ class InputArrivalEdit:
 
 
 #: Everything :meth:`WhatIf.apply` and the eco CLI accept.
-EcoEdit = Union[SetConfig, SetTemplate, InputStatsEdit, InputArrivalEdit]
+EcoEdit = Union[SetConfig, SetTemplate, AddGate, RemoveGate, RewireNet,
+                InputStatsEdit, InputArrivalEdit]
 
 
 class WhatIf:
@@ -131,6 +164,17 @@ class WhatIf:
             old = self.timing.set_input_arrival(edit.net, edit.arrival)
             self._undo.append(InputArrivalEdit(edit.net, old))
         else:
+            if (isinstance(edit, StructuralEdit)
+                    and not getattr(self.cache.backend,
+                                    "supports_structure", False)):
+                # Refuse BEFORE the circuit mutates: the cache listener
+                # would raise too, but only after apply_edit changed the
+                # netlist, leaving circuit and cache out of sync.
+                raise CircuitError(
+                    f"cannot trial {script_edit_label(edit)!r}: the "
+                    f"{self.cache.backend.name!r} backend does not support "
+                    f"structural edits (use the analytic backend)"
+                )
             self._undo.append(self.cache.circuit.apply_edit(edit))
 
     def power(self) -> float:
@@ -212,24 +256,68 @@ class WhatIf:
 # ----------------------------------------------------------------------
 # JSON edit scripts (the `repro eco` CLI)
 # ----------------------------------------------------------------------
+#: Exhaustive per-op key sets: a script entry carrying anything else is
+#: rejected (a typo like "confg" must not silently replay differently).
+_ENTRY_KEYS = {
+    "reorder": frozenset({"op", "gate", "config"}),
+    "retemplate": frozenset({"op", "gate", "template", "config"}),
+    "input-stats": frozenset({"op", "net", "probability", "density"}),
+    "input-arrival": frozenset({"op", "net", "arrival"}),
+    "add-gate": frozenset({"op", "gate", "template", "pins", "output",
+                           "config"}),
+    "remove-gate": frozenset({"op", "gate"}),
+    "rewire": frozenset({"op", "gate", "pin", "net"}),
+}
+
+
+def _config_from_index(template, index, label):
+    """``template.configurations()[index]`` with -1 = default (None)."""
+    index = int(index)
+    if index == -1:
+        return None
+    configurations = template.configurations()
+    if not 0 <= index < len(configurations):
+        raise ValueError(
+            f"{label}: config index {index} outside "
+            f"0..{len(configurations) - 1}"
+        )
+    return configurations[index]
+
+
 def resolve_edit(circuit: Circuit, entry: Mapping) -> EcoEdit:
     """Turn one JSON script entry into an :data:`EcoEdit`."""
     op = entry.get("op")
+    allowed = _ENTRY_KEYS.get(op)
+    if allowed is None:
+        raise ValueError(
+            f"unknown edit op {op!r}; use one of "
+            f"{', '.join(repr(k) for k in _ENTRY_KEYS)}"
+        )
+    unknown = sorted(set(entry) - allowed)
+    if unknown:
+        raise ValueError(
+            f"{op} entry has unknown keys {unknown}; allowed: "
+            f"{sorted(allowed)}"
+        )
     if op == "reorder":
         gate = circuit.gate(entry["gate"])
-        index = int(entry["config"])
-        if index == -1:
-            return SetConfig(gate.name, None)
-        configurations = gate.template.configurations()
-        if not 0 <= index < len(configurations):
-            raise ValueError(
-                f"gate {gate.name} ({gate.template.name}): config index "
-                f"{index} outside 0..{len(configurations) - 1}"
-            )
-        return SetConfig(gate.name, configurations[index])
+        return SetConfig(
+            gate.name,
+            _config_from_index(
+                gate.template, entry["config"],
+                f"gate {gate.name} ({gate.template.name})",
+            ),
+        )
     if op == "retemplate":
         gate = circuit.gate(entry["gate"])
-        return SetTemplate(gate.name, entry["template"])
+        template = lookup_template(circuit.library, entry["template"])
+        config = None
+        if "config" in entry:
+            config = _config_from_index(
+                template, entry["config"],
+                f"gate {gate.name} (-> {template.name})",
+            )
+        return SetTemplate(gate.name, template.name, config)
     if op == "input-stats":
         return InputStatsEdit(
             entry["net"],
@@ -237,10 +325,31 @@ def resolve_edit(circuit: Circuit, entry: Mapping) -> EcoEdit:
         )
     if op == "input-arrival":
         return InputArrivalEdit(entry["net"], float(entry["arrival"]))
-    raise ValueError(
-        f"unknown edit op {op!r}; use 'reorder', 'retemplate', "
-        f"'input-stats' or 'input-arrival'"
-    )
+    if op == "add-gate":
+        template = lookup_template(circuit.library, entry["template"])
+        pins = entry["pins"]
+        if sorted(pins) != sorted(template.pins):
+            raise ValueError(
+                f"add-gate {entry['gate']}: pins {sorted(pins)} do not "
+                f"match template {template.name!r} pins "
+                f"{sorted(template.pins)}"
+            )
+        config = None
+        if "config" in entry:
+            config = _config_from_index(
+                template, entry["config"],
+                f"add-gate {entry['gate']} ({template.name})",
+            )
+        return AddGate(
+            str(entry["gate"]), template.name,
+            tuple((pin, str(pins[pin])) for pin in template.pins),
+            str(entry["output"]), config,
+        )
+    if op == "remove-gate":
+        return RemoveGate(circuit.gate(entry["gate"]).name)
+    # op == "rewire"
+    gate = circuit.gate(entry["gate"])
+    return RewireNet(gate.name, str(entry["pin"]), str(entry["net"]))
 
 
 def resolve_edit_script(circuit: Circuit,
@@ -263,4 +372,10 @@ def script_edit_label(edit: EcoEdit) -> str:
         )
     if isinstance(edit, InputArrivalEdit):
         return f"input-arrival {edit.net} -> {edit.arrival:g}"
+    if isinstance(edit, AddGate):
+        return f"add-gate {edit.gate} ({edit.template}) -> {edit.output}"
+    if isinstance(edit, RemoveGate):
+        return f"remove-gate {edit.gate}"
+    if isinstance(edit, RewireNet):
+        return f"rewire {edit.gate}.{edit.pin} -> {edit.net}"
     return repr(edit)

@@ -45,6 +45,21 @@ gate's template) and, opt-in, ``retemplate`` (same-pin-tuple library
 cells; these change the logic function, so they stay off unless the
 caller explicitly asks for a re-synthesis-style search).
 
+Opt-in **structural** move families (``structural=``) run after the
+main strategy, in canonical order: ``buffer`` inserts a buffer (a
+``buf`` cell, or an inverter pair when the library has none) on the K
+most-loaded multi-sink nets; ``dup`` duplicates the drivers of the K
+most-loaded multi-sink nets and moves half the sink pins onto the
+copy; ``sweep`` removes dead gates (no sinks, output not a primary
+output) in one reverse-topological pass.  Each candidate is a short
+sequence of structural edits (``AddGate``/``RemoveGate``/``RewireNet``)
+priced through one rolled-back :class:`WhatIf` trial and greedily
+accepted when improving; accepted moves record list-valued script
+entries that replay through the same ``repro eco`` JSON vocabulary as
+everything else.  Structural families need a backend that can maintain
+statistics across structural edits (the analytic one; sampled backends
+refuse).
+
 Objectives are weighted, baseline-normalised power/delay scores.  All
 delay reads go through a live
 :class:`~repro.incremental.timing.TimingCache` sharing the stats
@@ -64,7 +79,15 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..circuit.netlist import Circuit, SetConfig, SetTemplate
+from ..circuit.netlist import (
+    AddGate,
+    Circuit,
+    RemoveGate,
+    RewireNet,
+    SetConfig,
+    SetTemplate,
+    lookup_template,
+)
 from ..compiled.flags import use_compiled
 from ..core.power_model import GatePowerModel
 from ..gates.capacitance import pin_terminal_counts
@@ -80,6 +103,7 @@ from .timing import TimingCache
 __all__ = [
     "STRATEGIES",
     "SEARCH_OBJECTIVES",
+    "STRUCTURAL_FAMILIES",
     "Objective",
     "make_objective",
     "Move",
@@ -92,6 +116,12 @@ __all__ = [
 
 STRATEGIES = ("greedy", "anneal")
 SEARCH_OBJECTIVES = ("power", "delay", "power-delay")
+#: Opt-in structural move families, in the canonical order they run.
+STRUCTURAL_FAMILIES = ("buffer", "dup", "sweep")
+
+#: Structural moves accepted across all searches of the process
+#: (:mod:`repro.obs.metrics` global registry; snapshotted into traces).
+_MOVES_STRUCTURAL = _GLOBAL_METRICS.counter("search.moves_structural")
 
 #: Accept only strictly improving greedy moves beyond this score margin
 #: (scores are baseline-normalised, so this is a relative threshold);
@@ -169,28 +199,97 @@ def make_objective(objective: Union[str, Objective],
 # ----------------------------------------------------------------------
 # Move enumeration
 # ----------------------------------------------------------------------
+def _config_index(template, config, gate_name: str) -> int:
+    """Position of ``config`` in the template's enumeration.
+
+    A hand-built :class:`GateConfig` can legally configure a gate
+    without appearing in :meth:`GateTemplate.configurations`; such a
+    configuration has no script form, and the error says so instead of
+    leaking a bare ``StopIteration``.
+    """
+    key = config.key()
+    for index, candidate in enumerate(template.configurations()):
+        if candidate.key() == key:
+            return index
+    raise ValueError(
+        f"gate {gate_name}: accepted configuration is not in template "
+        f"{template.name!r}'s enumeration and cannot be scripted"
+    )
+
+
+def _structural_entry(circuit: Circuit,
+                      edit: Union[AddGate, RemoveGate, RewireNet]
+                      ) -> Dict[str, object]:
+    """One structural edit in the ``repro eco`` JSON vocabulary."""
+    if isinstance(edit, AddGate):
+        entry: Dict[str, object] = {
+            "op": "add-gate",
+            "gate": edit.gate,
+            "template": edit.template,
+            "pins": dict(edit.pin_nets),
+            "output": edit.output,
+        }
+        if edit.config is not None:
+            template = lookup_template(circuit.library, edit.template)
+            entry["config"] = _config_index(template, edit.config, edit.gate)
+        return entry
+    if isinstance(edit, RemoveGate):
+        return {"op": "remove-gate", "gate": edit.gate}
+    if isinstance(edit, RewireNet):
+        return {"op": "rewire", "gate": edit.gate, "pin": edit.pin,
+                "net": edit.net}
+    raise TypeError(f"not a structural edit: {edit!r}")
+
+
 @dataclass(frozen=True)
 class Move:
-    """One candidate local transformation of one gate."""
+    """One candidate local transformation of one gate.
+
+    Legacy moves (``reorder``/``retemplate``) carry a single edit; the
+    structural families (``buffer``/``dup``/``sweep``) carry a tuple of
+    structural edits applied as one unit — ``gate`` then names the
+    structural anchor (the driver being shielded, the gate duplicated
+    or removed) and ``label`` the human-readable trace form.
+    """
 
     gate: str
-    kind: str  # "reorder" | "retemplate"
-    edit: Union[SetConfig, SetTemplate]
+    kind: str  # "reorder" | "retemplate" | a STRUCTURAL_FAMILIES member
+    edit: Union[SetConfig, SetTemplate, Tuple[object, ...]]
+    label: Optional[str] = None
 
-    def script_entry(self, circuit: Circuit) -> Dict[str, object]:
-        """The ``repro eco`` JSON vocabulary form of this move."""
+    @property
+    def structural(self) -> bool:
+        return isinstance(self.edit, tuple)
+
+    @property
+    def edits(self) -> Tuple[object, ...]:
+        """The move's edit sequence (a 1-tuple for legacy moves)."""
+        return self.edit if isinstance(self.edit, tuple) else (self.edit,)
+
+    def script_entry(self, circuit: Circuit
+                     ) -> Union[Dict[str, object], List[Dict[str, object]]]:
+        """The ``repro eco`` JSON vocabulary form of this move.
+
+        Legacy single-edit moves return one entry dict; structural
+        moves return the list of entries their edit sequence replays
+        as (flattened into scripts by :meth:`SearchResult.eco_script`).
+        """
+        if isinstance(self.edit, tuple):
+            return [_structural_entry(circuit, edit) for edit in self.edit]
         if isinstance(self.edit, SetConfig):
             if self.edit.config is None:
                 index = -1
             else:
-                key = self.edit.config.key()
-                configurations = circuit.gate(self.gate).template.configurations()
-                index = next(
-                    i for i, c in enumerate(configurations) if c.key() == key
-                )
+                template = circuit.gate(self.gate).template
+                index = _config_index(template, self.edit.config, self.gate)
             return {"op": "reorder", "gate": self.gate, "config": index}
-        return {"op": "retemplate", "gate": self.gate,
-                "template": self.edit.template}
+        entry = {"op": "retemplate", "gate": self.gate,
+                 "template": self.edit.template}
+        if self.edit.config is not None:
+            template = lookup_template(circuit.library, self.edit.template)
+            entry["config"] = _config_index(template, self.edit.config,
+                                            self.gate)
+        return entry
 
 
 def swap_groups(circuit: Circuit) -> Dict[Tuple[str, ...], List[str]]:
@@ -254,8 +353,9 @@ class AcceptedMove:
     gate: str
     kind: str
     label: str
-    entry: Dict[str, object]
-    """The move in the ``repro eco`` JSON vocabulary (replayable)."""
+    entry: Union[Dict[str, object], List[Dict[str, object]]]
+    """The move in the ``repro eco`` JSON vocabulary (replayable); a
+    structural move carries its whole edit sequence as a list."""
 
     delta_power: float
     delta_delay: float
@@ -325,8 +425,19 @@ class SearchResult:
         return 1.0 - self.power_after / self.power_before
 
     def eco_script(self) -> List[Dict[str, object]]:
-        """The accepted moves as a replayable ``repro eco`` JSON script."""
-        return [dict(move.entry) for move in self.accepted]
+        """The accepted moves as a replayable ``repro eco`` JSON script.
+
+        Structural moves carry list-valued entries (one edit sequence);
+        they flatten here, so the script replays edit by edit in the
+        exact order the search committed them.
+        """
+        script: List[Dict[str, object]] = []
+        for move in self.accepted:
+            if isinstance(move.entry, list):
+                script.extend(dict(entry) for entry in move.entry)
+            else:
+                script.append(dict(move.entry))
+        return script
 
     def to_artifact(self, meta: Optional[Mapping[str, object]] = None
                     ) -> Dict[str, object]:
@@ -656,6 +767,10 @@ class _Search:
         self.max_trials = max_trials
         self.max_moves = max_moves
         self.trials = 0
+        #: Monotonic suffix counter for structural-edit gate names;
+        #: deterministic (never reset, rejected candidates consume
+        #: values too), so move traces are byte-stable.
+        self._fresh = 0
         self.accepted: List[AcceptedMove] = []
         self.budget_exhausted = False
         self.power = cache.total_power()
@@ -712,6 +827,11 @@ class _Search:
                             kind=moves[0].kind, moves=len(moves))
                 if tracer is not None else _trace.NULL_SPAN)
         with span:
+            if self._pricer is not None and self._pricer.cc.stale:
+                # A structural trial or accept closed the compiled
+                # lowering the pricer captured; rebuild against the
+                # fresh one before pricing anything through it.
+                self._pricer = _BatchPricer(self)
             if self._pricer is not None:
                 scored = self._pricer.score(moves)
                 if scored is not None:
@@ -734,13 +854,41 @@ class _Search:
                     )
         return scored
 
+    def score_structural(self, move: Move) -> Tuple[float, float, float]:
+        """Price one multi-edit structural move in a rolled-back WhatIf.
+
+        The whole edit sequence applies inside a single trial — the
+        move is one unit, never partially visible — and the rollback
+        unwinds it edit by edit in reverse.  Returns
+        ``(score, power, delay)``.
+        """
+        tracer = _trace.ACTIVE
+        span = (tracer.span("search.score_batch", gate=move.gate,
+                            kind=move.kind, moves=1)
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            if tracer is not None:
+                span.note(route="whatif")
+            with WhatIf(self.cache) as trial:
+                for edit in move.edits:
+                    trial.apply(edit)
+                power = trial.power()
+                delay = self.trial_delay()
+                self.trials += 1
+            score = self.objective.score(power, delay, self.power0,
+                                         self.delay0)
+        return score, power, delay
+
     # -- acceptance ---------------------------------------------------
     def accept(self, move: Move, temperature: float = 0.0) -> None:
         """Commit one move for real and record the trace entry."""
         entry = move.script_entry(self.circuit)
         before = self.cache.gates_repropagated
         retimed_before = self.timing.gates_retimed
-        self.circuit.apply_edit(move.edit)
+        for edit in move.edits:
+            self.circuit.apply_edit(edit)
+        if move.structural:
+            _MOVES_STRUCTURAL.inc()
         power_after = self.cache.total_power()
         cone = self.cache.gates_repropagated - before
         delay_after = self.timing.delay()
@@ -750,7 +898,8 @@ class _Search:
             trial=self.trials,
             gate=move.gate,
             kind=move.kind,
-            label=script_edit_label(move.edit),
+            label=(move.label if move.label is not None
+                   else script_edit_label(move.edits[0])),
             entry=entry,
             delta_power=power_after - self.power,
             delta_delay=delay_after - self.delay,
@@ -794,6 +943,17 @@ class _Search:
         if gate.template.num_configurations() > 1:
             return True
         return bool(self.retemplate and self.groups.get(gate.template.pins))
+
+    def fresh_gate_name(self, stem: str) -> str:
+        """A gate name (with a free ``_n`` output net) unused anywhere."""
+        circuit = self.circuit
+        while True:
+            self._fresh += 1
+            name = f"{stem}{self._fresh}"
+            net = f"{name}_n"
+            if (name not in circuit and net not in circuit.inputs
+                    and circuit.driver(net) is None):
+                return name
 
 
 def _greedy(state: _Search, max_rounds: Optional[int]) -> int:
@@ -895,11 +1055,165 @@ def _anneal(state: _Search, seed: int, initial_temp: float, cooling: float,
     return steps
 
 
+# ----------------------------------------------------------------------
+# Structural move families
+# ----------------------------------------------------------------------
+def _ranked_drivers(state: _Search, k: int) -> List[str]:
+    """Drivers of the K most externally loaded multi-sink nets.
+
+    Ranked once against the state at call time — external load
+    descending, gate creation order breaking ties — so the candidate
+    order is deterministic and independent of hash randomisation.
+    """
+    ranked = sorted(
+        (-state.cache._output_load(gate.output), position, gate.name)
+        for position, gate in enumerate(state.circuit.gates)
+        if len(state.cache.index.sinks(gate.output)) >= 2
+    )
+    return [name for _, _, name in ranked[:k]]
+
+
+def _buffer_moves(state: _Search, k: int):
+    """Buffer-insertion candidates for the K most-loaded nets.
+
+    Each move adds a ``buf`` cell — or, when the library has no buffer,
+    a logically transparent inverter pair — fed by the net and moves
+    every sink pin onto the buffered copy, shielding the driver from
+    the fanout load.  Moves materialise lazily against the
+    then-current circuit, so earlier accepts are honoured.
+    """
+    library_names = {t.name for t in state.circuit.library}
+    if "buf" in library_names:
+        chain = ("buf",)
+    elif "inv" in library_names:
+        chain = ("inv", "inv")
+    else:
+        return
+    for driver in _ranked_drivers(state, k):
+        circuit = state.circuit
+        if driver not in circuit:
+            continue
+        net = circuit.gate(driver).output
+        sinks = state.cache.index.sinks(net)
+        if len(sinks) < 2:
+            continue
+        edits: List[object] = []
+        source = net
+        for template_name in chain:
+            template = circuit.library[template_name]
+            name = state.fresh_gate_name(f"{driver}__buf")
+            output = f"{name}_n"
+            edits.append(
+                AddGate(name, template_name, ((template.pins[0], source),),
+                        output)
+            )
+            source = output
+        for sink, pin in sinks:
+            edits.append(RewireNet(sink.name, pin, source))
+        yield Move(driver, "buffer", tuple(edits),
+                   label=f"buffer {net} ({'+'.join(chain)}, "
+                         f"{len(sinks)} pins)")
+
+
+def _dup_moves(state: _Search, k: int):
+    """Fanout-splitting duplication candidates for the K most-loaded nets.
+
+    Each move clones the driver (same template, bindings and
+    configuration) onto a fresh output net and moves the upper half of
+    the sink pins onto the copy, halving the load either gate drives.
+    """
+    for name in _ranked_drivers(state, k):
+        circuit = state.circuit
+        if name not in circuit:
+            continue
+        gate = circuit.gate(name)
+        sinks = state.cache.index.sinks(gate.output)
+        if len(sinks) < 2:
+            continue
+        duplicate = state.fresh_gate_name(f"{name}__dup")
+        new_net = f"{duplicate}_n"
+        template = gate.template
+        edits: List[object] = [AddGate(
+            duplicate, template.name,
+            tuple((pin, gate.pin_nets[pin]) for pin in template.pins),
+            new_net, gate.config,
+        )]
+        moved = sinks[len(sinks) // 2:]
+        edits.extend(RewireNet(sink.name, pin, new_net)
+                     for sink, pin in moved)
+        yield Move(name, "dup", tuple(edits),
+                   label=f"dup {name} -> {duplicate} "
+                         f"({len(moved)}/{len(sinks)} pins)")
+
+
+def _sweep_moves(state: _Search):
+    """Dead gates (no sinks, output not a PO), reverse-topologically.
+
+    Reverse order makes one pass complete: removing a dead gate can
+    only strand gates upstream of it, and those are visited later.
+    """
+    circuit = state.circuit
+    outputs = frozenset(circuit.outputs)
+    order = sorted(state.cache.topo_index,
+                   key=state.cache.topo_index.__getitem__, reverse=True)
+    for name in order:
+        if name not in circuit:
+            continue
+        gate = circuit.gate(name)
+        if gate.output in outputs:
+            continue
+        if state.cache.index.sinks(gate.output):
+            continue
+        yield Move(name, "sweep", (RemoveGate(name),),
+                   label=f"sweep {name}")
+
+
+def _structural(state: _Search, families: Sequence[str], nets_k: int) -> int:
+    """Run the opt-in structural families; returns family passes run.
+
+    Families run in the canonical :data:`STRUCTURAL_FAMILIES` order
+    regardless of how the caller listed them.  Every candidate is
+    priced by one rolled-back WhatIf trial of its whole edit sequence
+    and greedily accepted when strictly improving — no randomness, so
+    the trace stays byte-stable for a fixed input.
+    """
+    requested = frozenset(families)
+    passes = 0
+    tracer = _trace.ACTIVE
+    span = (tracer.span(
+                "search.structural", nets=nets_k,
+                families=",".join(f for f in STRUCTURAL_FAMILIES
+                                  if f in requested))
+            if tracer is not None else _trace.NULL_SPAN)
+    with span:
+        accepted_before = len(state.accepted)
+        for family in STRUCTURAL_FAMILIES:
+            if family not in requested or state.out_of_budget():
+                continue
+            passes += 1
+            if family == "buffer":
+                moves = _buffer_moves(state, nets_k)
+            elif family == "dup":
+                moves = _dup_moves(state, nets_k)
+            else:
+                moves = _sweep_moves(state)
+            for move in moves:
+                if state.out_of_budget():
+                    break
+                score, _, _ = state.score_structural(move)
+                if score < state.score - _TOL:
+                    state.accept(move)
+        if tracer is not None:
+            span.note(accepted=len(state.accepted) - accepted_before)
+    return passes
+
+
 def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
                objective: Objective, *, seed: int, restarts: int, jobs: int,
                backend, model, po_load, retemplate, max_trials, max_moves,
                max_rounds, initial_temp, cooling, moves_per_temp,
-               anneal_trials, polish, compiled, backend_kwargs) -> SearchResult:
+               anneal_trials, polish, structural, structural_nets,
+               compiled, backend_kwargs) -> SearchResult:
     """Fan out CRC-seeded annealing restarts and merge them deterministically.
 
     Every field of the merged result is a pure function of the restart
@@ -926,6 +1240,8 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
         "moves_per_temp": moves_per_temp,
         "anneal_trials": anneal_trials,
         "polish": polish,
+        "structural": structural,
+        "structural_nets": structural_nets,
         "compiled": compiled,
         **backend_kwargs,
     }
@@ -951,7 +1267,10 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
     work = circuit.copy()
     accepted = [AcceptedMove(**dict(move)) for move in best["moves"]]
     for move in accepted:
-        work.apply_edit(resolve_edit(work, move.entry))
+        entries = (move.entry if isinstance(move.entry, list)
+                   else [move.entry])
+        for entry in entries:
+            work.apply_edit(resolve_edit(work, entry))
     summaries = [
         {
             key: entry[key]
@@ -1012,6 +1331,8 @@ def search_circuit(
     moves_per_temp: int = 8,
     anneal_trials: Optional[int] = None,
     polish: bool = False,
+    structural: Optional[Sequence[str]] = None,
+    structural_nets: int = 4,
     restarts: Optional[int] = None,
     jobs: int = 1,
     compiled: Optional[bool] = None,
@@ -1031,6 +1352,15 @@ def search_circuit(
     the annealing schedule length (default 32 x movable gates) without
     consuming the global caps; ``polish=True`` runs a greedy descent
     after annealing (still within the same budgets).
+
+    ``structural=`` opts into the structural move families (any subset
+    of :data:`STRUCTURAL_FAMILIES`: ``"buffer"``, ``"dup"``,
+    ``"sweep"``), run after the main strategy in canonical order and
+    within the same budgets; ``structural_nets`` sets the top-K net
+    count the buffer and dup families consider.  Structural moves edit
+    connectivity, so they need a backend that can maintain statistics
+    across structural edits — the analytic one; asking for them on a
+    sampled backend raises up front.
 
     ``restarts=N`` switches to **portfolio annealing**: N independent
     restarts seeded from CRC substreams of ``seed``
@@ -1060,6 +1390,15 @@ def search_circuit(
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
     resolved = make_objective(objective, delay_weight)
+    families: Tuple[str, ...] = tuple(structural) if structural else ()
+    unknown_families = [f for f in families if f not in STRUCTURAL_FAMILIES]
+    if unknown_families:
+        raise ValueError(
+            f"unknown structural move families {unknown_families}; "
+            f"choose from {STRUCTURAL_FAMILIES}"
+        )
+    if structural_nets < 1:
+        raise ValueError("structural_nets must be at least 1")
 
     from .portfolio import DEFAULT_RESTARTS
 
@@ -1087,7 +1426,9 @@ def search_circuit(
             max_moves=max_moves, max_rounds=max_rounds,
             initial_temp=initial_temp, cooling=cooling,
             moves_per_temp=moves_per_temp, anneal_trials=anneal_trials,
-            polish=polish, compiled=compiled, backend_kwargs=backend_kwargs,
+            polish=polish, structural=structural or None,
+            structural_nets=structural_nets, compiled=compiled,
+            backend_kwargs=backend_kwargs,
         )
 
     owns_cache = cache is None
@@ -1112,6 +1453,16 @@ def search_circuit(
                 "backend/model/po_load/compiled arguments conflict with a "
                 "live cache="
             )
+
+    if families and not getattr(cache.backend, "supports_structure", False):
+        if owns_cache:
+            cache.close()
+        raise ValueError(
+            f"structural move families need a backend that can maintain "
+            f"statistics across structural edits; the "
+            f"{cache.backend.name!r} backend cannot (use the analytic "
+            f"backend)"
+        )
 
     start = time.perf_counter()
     repropagated_before = cache.gates_repropagated
@@ -1140,6 +1491,8 @@ def search_circuit(
                                  moves_per_temp, anneal_trials)
                 if polish and not state.out_of_budget():
                     rounds += _greedy(state, max_rounds)
+            if families and not state.out_of_budget():
+                rounds += _structural(state, families, structural_nets)
             if tracer is not None:
                 span.note(trials=state.trials, rounds=rounds,
                           accepted=len(state.accepted))

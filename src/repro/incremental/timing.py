@@ -45,8 +45,10 @@ class TimingCache:
 
     Subscribes to :meth:`Circuit.apply_edit` notifications exactly like
     :class:`~repro.incremental.cache.StatsCache`; pass ``index=`` to
-    share an existing :class:`FanoutIndex` (the supported edits never
-    change connectivity, so one index can serve both caches).
+    share an existing :class:`FanoutIndex` (the local edits never
+    change connectivity, so one index can serve both caches; after a
+    structural edit both re-read the circuit's freshly rebuilt memoised
+    index, so they keep sharing).
 
     ``compiled`` routes the initial sweep and every refresh through
     the flat-array kernels of :mod:`repro.compiled` (``None`` defers
@@ -132,6 +134,9 @@ class TimingCache:
     # Invalidation
     # ------------------------------------------------------------------
     def _on_edit(self, gate_name: str, kind: str) -> None:
+        if kind == "structure":
+            self._on_structure(gate_name, self.circuit.structure_event)
+            return
         self._dirty.add(gate_name)
         # Wider than the statistics rule: the edited gate's new
         # compiled form can change its pin capacitances — the load its
@@ -139,6 +144,46 @@ class TimingCache:
         # drivers' own output arrivals may move too.
         for pred in self.circuit.fanin_drivers(gate_name):
             self._dirty.add(pred.name)
+
+    def _on_structure(self, gate_name: str, event) -> None:
+        """Handle a structural edit: rebuild structure, widen dirty seeds.
+
+        Mirrors :meth:`StatsCache._on_structure`.  An added gate's
+        output is seeded NaN so the early cut-off always treats its
+        first recompute as changed (``x != nan`` for every ``x``); the
+        NaN never escapes because the gate is in the dirty seeds of the
+        very next refresh.  Drivers of the event's ``load_nets`` are
+        seeded too — the external load they see changed, and load
+        enters the Elmore delay.  In compiled mode the stale lowering
+        is replaced and the persistent arrival array rebuilt from the
+        (still exact) arrival dict.
+        """
+        self.index = self.circuit.fanout_index()
+        self._topo = self.circuit.topo_gates()
+        self._topo_index = {g.name: i for i, g in enumerate(self._topo)}
+        if event.op == "remove":
+            self._dirty.discard(gate_name)
+            self._arrivals.pop(event.output, None)
+            self._pred.pop(event.output, None)
+        else:
+            if event.op == "add":
+                self._arrivals[event.output] = float("nan")
+                self._pred[event.output] = None
+            self._dirty.add(gate_name)
+        for net in event.load_nets:
+            pred = self.circuit.driver(net)
+            if pred is not None:
+                self._dirty.add(pred.name)
+        if self._cc is not None:
+            from ..compiled import get_compiled
+
+            self._cc = get_compiled(self.circuit)
+            arr = np.zeros(len(self._cc.nets))
+            for i, net in enumerate(self._cc.nets):
+                arr[i] = self._arrivals.get(net, np.nan)
+            self._arr = arr
+        self._required = None
+        self._required_clock = None
 
     def mark_dirty(self, gate_name: str) -> None:
         """Seed the dirty set as if ``gate_name`` had just been edited.
