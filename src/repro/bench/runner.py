@@ -55,13 +55,34 @@ SCHEMA_VERSION = 1
 TIMING_FIELDS = ("elapsed_s", "jobs", "meta")
 
 
+def _git_sha() -> Optional[str]:
+    """The checkout's HEAD commit, or ``None`` outside a git checkout."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
 def environment_meta() -> Dict[str, object]:
     """The run-environment block every benchmark artifact carries.
 
     Describes *where* the numbers were produced (interpreter, numpy,
-    core count, kernel routing) — run descriptors like ``elapsed_s``,
-    so ``meta`` is in :data:`TIMING_FIELDS` and :func:`strip_timing`
-    drops it from golden byte-comparisons.
+    core count, kernel routing, host, source revision) — run
+    descriptors like ``elapsed_s``, so ``meta`` is in
+    :data:`TIMING_FIELDS` and :func:`strip_timing` drops it from golden
+    byte-comparisons.  ``git_sha`` is best-effort: ``None`` outside a
+    checkout (an installed package, a tarball).
     """
     import platform
 
@@ -74,8 +95,10 @@ def environment_meta() -> Dict[str, object]:
         "numpy": numpy.__version__,
         "platform": platform.system(),
         "machine": platform.machine(),
+        "hostname": platform.node(),
         "cpu_count": os.cpu_count() or 1,
         "compiled": compiled_default(),
+        "git_sha": _git_sha(),
     }
 
 #: Worker-local mapped-netlist cache: case name -> mapped circuit.  The
@@ -108,16 +131,44 @@ def _row_dict(row, elapsed: float) -> Dict[str, object]:
 def _run_case(work: Tuple[str, Tuple[str, ...], int]) -> List[Dict[str, object]]:
     """One work item: every scenario of one circuit, mapping reused."""
     from ..analysis.experiments import run_table3_case
+    from ..obs import trace as _trace
 
     case_name, scenarios, seed = work
-    circuit = _mapped_circuit(case_name)
-    case = get_case(case_name)
-    rows = []
-    for scenario in scenarios:
-        start = time.perf_counter()
-        row = run_table3_case(case, scenario, seed=seed, circuit=circuit)
-        rows.append(_row_dict(row, time.perf_counter() - start))
-    return rows
+    tracer = _trace.ACTIVE
+    span = (tracer.span("bench.case", circuit=case_name)
+            if tracer is not None else _trace.NULL_SPAN)
+    try:
+        with span:
+            circuit = _mapped_circuit(case_name)
+            case = get_case(case_name)
+            rows = []
+            for scenario in scenarios:
+                start = time.perf_counter()
+                row = run_table3_case(case, scenario, seed=seed,
+                                      circuit=circuit)
+                rows.append(_row_dict(row, time.perf_counter() - start))
+            return rows
+    finally:
+        # Pool workers exit via os._exit: flush this pid's trace shard
+        # before the result ships back.
+        _trace.flush()
+
+
+def _run_case_indexed(
+    item: Tuple[int, Tuple[str, Tuple[str, ...], int]],
+) -> Tuple[int, List[Dict[str, object]]]:
+    """``imap_unordered`` wrapper: tag results with their work index."""
+    index, work = item
+    return index, _run_case(work)
+
+
+def _case_progress(case_name: str, done: int, total: int) -> None:
+    from ..obs import progress as _progress
+
+    sink = _progress.ACTIVE
+    if sink is not None:
+        sink.emit("bench.case", force=True, circuit=case_name, done=done,
+                  total=total)
 
 
 def run_suite(subset: Optional[str] = "quick",
@@ -150,13 +201,26 @@ def run_suite(subset: Optional[str] = "quick",
     work = [(name, scenarios, seed) for name in names]
     start = time.perf_counter()
     if jobs == 1 or len(work) <= 1:
-        grouped = [_run_case(item) for item in work]
+        grouped = []
+        for index, item in enumerate(work):
+            grouped.append(_run_case(item))
+            _case_progress(item[0], index + 1, len(work))
     else:
+        grouped = [None] * len(work)
+        done = 0
         with multiprocessing.get_context().Pool(processes=min(jobs, len(work))) as pool:
             # chunksize=1: circuit costs vary by orders of magnitude, so
             # letting map() weld consecutive items into chunks can leave
-            # one worker serialising the two largest circuits.
-            grouped = pool.map(_run_case, work, chunksize=1)
+            # one worker serialising the two largest circuits.  Results
+            # stream back as they finish (feeding --progress) and are
+            # reassembled in suite order, keeping the artifact
+            # bit-identical to a jobs=1 run.
+            for index, rows in pool.imap_unordered(_run_case_indexed,
+                                                   list(enumerate(work)),
+                                                   chunksize=1):
+                grouped[index] = rows
+                done += 1
+                _case_progress(work[index][0], done, len(work))
     elapsed = time.perf_counter() - start
 
     artifact: Dict[str, object] = {

@@ -15,11 +15,23 @@ Subcommands::
                            annealing) over the incremental engine
     trace summarize FILE   per-span profile of a JSONL trace written by
                            --trace / REPRO_TRACE (see repro.obs)
+    trace merge FILE       interleave worker trace shards
+                           (FILE.pid<N>.jsonl) back into FILE
+    trace export FILE      convert a trace to Chrome trace-event JSON
+                           (open in chrome://tracing)
+    bench baseline ART...  record bench artifacts' headline metrics in
+                           a perf baseline (benchmarks/BASELINE.json)
+    bench check [ART...]   compare bench artifacts (or a fresh run)
+                           against the baseline; nonzero on regression
 
 ``--trace PATH`` on ``search``/``eco``/``optimize``/``bench`` (or the
 ``REPRO_TRACE`` environment variable, honoured by every subcommand)
 streams span/metrics events to a JSONL file while the run's printed
-output and artifacts stay byte-identical.
+output and artifacts stay byte-identical; multi-process runs shard per
+worker pid and the shards are merged automatically on exit.
+``--progress`` on the same subcommands streams rate-limited live
+status lines (rounds, anneal steps, restart completions, bench cases)
+to stderr.
 """
 
 from __future__ import annotations
@@ -49,12 +61,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_trace_arg(subparser: argparse.ArgumentParser) -> None:
+def _add_obs_args(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--trace", metavar="PATH",
         help="stream a JSONL span/metrics trace of this run here "
              "(overrides REPRO_TRACE; printed output and artifacts are "
-             "unchanged — inspect with 'repro trace summarize PATH')",
+             "unchanged — inspect with 'repro trace summarize PATH'; "
+             "worker shards are merged into PATH on exit)",
+    )
+    subparser.add_argument(
+        "--progress", action="store_true",
+        help="stream rate-limited live status lines to stderr "
+             "(rounds, anneal steps, restarts, bench cases)",
     )
 
 
@@ -89,7 +107,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the JSON result artifact here")
     pb.add_argument("--cases", nargs="+", metavar="NAME",
                     help="explicit case names (overrides --subset)")
-    _add_trace_arg(pb)
+    _add_obs_args(pb)
+    # Optional nested subcommands: plain `repro bench [flags]` still
+    # runs the sweep (bench_command stays None).
+    bsub = pb.add_subparsers(dest="bench_command", required=False,
+                             metavar="{check,baseline}")
+    pbc = bsub.add_parser(
+        "check",
+        help="compare bench artifacts (or a fresh quick-suite run) "
+             "against a perf baseline; exit 1 on regression",
+    )
+    pbc.add_argument("artifacts", nargs="*", metavar="ARTIFACT",
+                     help="bench/suite JSON artifacts to check; none = "
+                          "run the suite fresh (see --subset/--jobs)")
+    pbc.add_argument("--baseline", metavar="PATH",
+                     default="benchmarks/BASELINE.json",
+                     help="baseline store (default benchmarks/BASELINE.json)")
+    pbc.add_argument("--tolerance", type=float, default=None,
+                     help="override the per-kind relative tolerances "
+                          "(e.g. 0.2 = fail beyond ±20%%)")
+    pbc.add_argument("--subset", choices=["quick", "full"], default="quick",
+                     help="suite subset for the fresh run (no artifacts)")
+    pbc.add_argument("--scenario", choices=["A", "B", "both"],
+                     default="both")
+    pbc.add_argument("--jobs", type=_positive_int, default=1)
+    pbc.add_argument("--seed", type=int, default=0)
+    pbb = bsub.add_parser(
+        "baseline",
+        help="record bench artifacts' headline metrics as new entries "
+             "in the perf baseline",
+    )
+    pbb.add_argument("artifacts", nargs="+", metavar="ARTIFACT",
+                     help="bench/suite JSON artifacts to record")
+    pbb.add_argument("--baseline", metavar="PATH",
+                     default="benchmarks/BASELINE.json",
+                     help="baseline store (default benchmarks/BASELINE.json)")
+    pbb.add_argument("--label", metavar="TEXT", default=None,
+                     help="free-form entry label (e.g. the reason for "
+                          "re-baselining)")
 
     pa = sub.add_parser("adder", help="ripple-carry carry activity profile")
     pa.add_argument("--width", type=int, default=8)
@@ -115,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the optimised netlist as mapped BLIF")
     po.add_argument("--save-verilog", metavar="PATH",
                     help="write the optimised netlist as structural Verilog")
-    _add_trace_arg(po)
+    _add_obs_args(po)
 
     pe = sub.add_parser(
         "eco",
@@ -148,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "instead of a full STA per edit")
     pe.add_argument("--out", metavar="PATH",
                     help="write the JSON result artifact here")
-    _add_trace_arg(pe)
+    _add_obs_args(pe)
 
     from .incremental.portfolio import DEFAULT_RESTARTS
 
@@ -209,7 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the canonical JSON search artifact here")
     ps.add_argument("--save-blif", metavar="PATH",
                     help="write the searched netlist as mapped BLIF")
-    _add_trace_arg(ps)
+    _add_obs_args(ps)
 
     pt = sub.add_parser(
         "trace",
@@ -225,6 +280,29 @@ def build_parser() -> argparse.ArgumentParser:
     pts.add_argument("--top", type=_positive_int, default=10,
                      help="how many of the slowest spans to list "
                           "(default 10)")
+    ptm = tsub.add_parser(
+        "merge",
+        help="interleave per-pid worker shards (FILE.pid<N>.jsonl) back "
+             "into FILE, ordered by timestamp with stable pid "
+             "tie-breaks (traced CLI runs do this automatically on "
+             "exit)",
+    )
+    ptm.add_argument("file", help="path to the main JSONL trace file")
+    ptm.add_argument("-o", "--out", metavar="PATH", default=None,
+                     help="write the merged stream here instead of "
+                          "rewriting FILE (keeps the shards)")
+    ptm.add_argument("--keep-shards", action="store_true",
+                     help="keep the shard files after an in-place merge")
+    pte = tsub.add_parser(
+        "export",
+        help="convert a trace to another format (chrome: Chrome "
+             "trace-event JSON for chrome://tracing / Perfetto)",
+    )
+    pte.add_argument("file", help="path to a JSONL trace file")
+    pte.add_argument("--format", choices=["chrome"], default="chrome",
+                     help="output format (default chrome)")
+    pte.add_argument("-o", "--out", metavar="PATH", default=None,
+                     help="write here instead of stdout")
     return parser
 
 
@@ -617,6 +695,87 @@ def _cmd_trace_summarize(out, path: str, top: int) -> int:
     return 0
 
 
+def _cmd_trace_merge(out, path: str, out_path: Optional[str],
+                     keep_shards: bool) -> int:
+    from .obs.shards import find_shards, merge_file
+
+    if not find_shards(path) and out_path is None:
+        out.write(f"no shards found for {path}; trace left untouched\n")
+        return 0
+    try:
+        count = merge_file(path, out=out_path, keep_shards=keep_shards)
+    except OSError as error:
+        raise SystemExit(f"trace merge: {error}")
+    target = out_path if out_path is not None else path
+    out.write(f"merged {count} shard(s) into {target}\n")
+    return 0
+
+
+def _cmd_trace_export(out, path: str, fmt: str,
+                      out_path: Optional[str]) -> int:
+    from .obs.export import export_chrome_file
+
+    assert fmt == "chrome"  # argparse choices guarantee this
+    try:
+        text = export_chrome_file(path, out=out_path)
+    except OSError as error:
+        raise SystemExit(f"trace export: {error}")
+    if out_path is not None:
+        out.write(f"wrote chrome trace to {out_path}\n")
+    else:
+        out.write(text)
+    return 0
+
+
+def _cmd_bench_baseline(out, artifacts: List[str], baseline: str,
+                        label: Optional[str]) -> int:
+    from .bench.runner import load_artifact
+    from .obs.perfdb import append_artifact
+
+    for path in artifacts:
+        try:
+            entry = append_artifact(baseline, load_artifact(path),
+                                    label=label)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"bench baseline: {path}: {error}")
+        out.write(f"recorded {len(entry['metrics'])} metric(s) from "
+                  f"{path} into {baseline}\n")
+    return 0
+
+
+def _cmd_bench_check(out, args) -> int:
+    from .bench.runner import load_artifact, run_suite
+    from .obs.perfdb import (
+        baseline_metrics,
+        check_metrics,
+        headline_metrics,
+        load_baseline,
+        render_check,
+    )
+
+    try:
+        store = load_baseline(args.baseline)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"bench check: {error}")
+    current = {}
+    try:
+        if args.artifacts:
+            for path in args.artifacts:
+                current.update(headline_metrics(load_artifact(path)))
+        else:
+            scenarios = (("A", "B") if args.scenario == "both"
+                         else (args.scenario,))
+            artifact = run_suite(subset=args.subset, scenarios=scenarios,
+                                 jobs=args.jobs, seed=args.seed)
+            current.update(headline_metrics(artifact))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"bench check: {error}")
+    result = check_metrics(current, baseline_metrics(store),
+                           tolerance=args.tolerance)
+    out.write(render_check(result))
+    return 1 if result.regressions else 0
+
+
 def _dispatch(args, out) -> int:
     if args.command == "table1":
         return _cmd_table1(out)
@@ -625,6 +784,12 @@ def _dispatch(args, out) -> int:
     if args.command == "table3":
         return _cmd_table3(out, args.subset, args.scenario, args.seed)
     if args.command == "bench":
+        bench_command = getattr(args, "bench_command", None)
+        if bench_command == "check":
+            return _cmd_bench_check(out, args)
+        if bench_command == "baseline":
+            return _cmd_bench_baseline(out, args.artifacts, args.baseline,
+                                       args.label)
         return _cmd_bench(out, args.subset, args.scenario, args.jobs,
                           args.seed, args.out, args.cases)
     if args.command == "adder":
@@ -640,6 +805,11 @@ def _dispatch(args, out) -> int:
     if args.command == "search":
         return _cmd_search(out, args)
     if args.command == "trace":
+        if args.trace_command == "merge":
+            return _cmd_trace_merge(out, args.file, args.out,
+                                    args.keep_shards)
+        if args.trace_command == "export":
+            return _cmd_trace_export(out, args.file, args.format, args.out)
         return _cmd_trace_summarize(out, args.file, args.top)
     raise AssertionError("unreachable")
 
@@ -648,16 +818,38 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    from .obs import progress as _progress
     from .obs import trace as _trace
 
     # --trace (search/eco/optimize/bench) wins over REPRO_TRACE; the
     # environment flag alone enables tracing for any subcommand.
     tracer = _trace.start(getattr(args, "trace", None))
+    trace_path = tracer.path if tracer is not None else None
+    progress_on = bool(getattr(args, "progress", False))
+    if progress_on:
+        _progress.enable()
     try:
         return _dispatch(args, out)
     finally:
+        if progress_on:
+            _progress.disable()
         if tracer is not None:
             _trace.disable()
+            if trace_path is not None:
+                # Fold any worker shards back into the main trace so
+                # the file on disk is always the whole story.
+                from .obs.shards import merge_file
+
+                try:
+                    merged = merge_file(trace_path)
+                except OSError as error:
+                    sys.stderr.write(f"trace merge failed: {error}\n")
+                else:
+                    if merged:
+                        sys.stderr.write(
+                            f"merged {merged} trace shard(s) into "
+                            f"{trace_path}\n"
+                        )
 
 
 if __name__ == "__main__":  # pragma: no cover

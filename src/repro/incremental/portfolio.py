@@ -28,7 +28,12 @@ Determinism is the design constraint, not an afterthought:
   lock).
 
 Workers receive only picklable plain data (:func:`circuit_spec`), so
-the scheme is indifferent to fork/spawn start methods.
+the scheme is indifferent to fork/spawn start methods.  That includes
+observability: when the parent traces, workers get the trace path and
+clock origin in their payload, write ``portfolio.anneal`` spans (and
+everything the annealer emits beneath them) to per-pid shard files
+(:mod:`repro.obs.trace`), and the parent's auto-merge interleaves them
+back into one timeline — none of which touches result artifacts.
 """
 
 from __future__ import annotations
@@ -142,8 +147,33 @@ def _run_restart(payload: Mapping[str, object]) -> Dict[str, object]:
 
     Runs in a worker process (or inline for ``jobs=1``); everything in
     and out is picklable, and everything out is a pure function of the
-    payload.
+    payload.  When the parent was tracing, the payload carries the
+    trace path and clock origin: the worker joins via
+    :func:`repro.obs.trace.adopt` (a no-op under ``fork``, where the
+    inherited tracer reroutes itself), brackets the whole restart in a
+    ``portfolio.anneal`` span, and flushes before returning — pool
+    children exit via ``os._exit``, which skips buffer flushing.
     """
+    from ..obs import trace as _trace
+
+    trace_ref = payload.get("trace")
+    if trace_ref is not None:
+        _trace.adopt(trace_ref[0], trace_ref[1])
+    tracer = _trace.ACTIVE
+    span = (tracer.span("portfolio.anneal", index=payload["index"],
+                        seed=payload["seed"])
+            if tracer is not None else _trace.NULL_SPAN)
+    try:
+        with span:
+            outcome = _run_restart_body(payload)
+            span.note(score=outcome["score"], trials=outcome["trials"],
+                      accepted=outcome["accepted_count"])
+            return outcome
+    finally:
+        _trace.flush()
+
+
+def _run_restart_body(payload: Mapping[str, object]) -> Dict[str, object]:
     from .search import search_circuit
 
     circuit = circuit_from_spec(payload["spec"])
@@ -184,6 +214,18 @@ def _run_restart(payload: Mapping[str, object]) -> Dict[str, object]:
     }
 
 
+def _restart_progress(outcome: Mapping[str, object],
+                      done: int, total: int) -> None:
+    from ..obs import progress as _progress
+
+    sink = _progress.ACTIVE
+    if sink is not None:
+        sink.emit("portfolio.restart", force=True,
+                  index=outcome["index"], done=done, total=total,
+                  score=outcome["score"],
+                  accepted=outcome["accepted_count"])
+
+
 def run_restarts(circuit: Circuit,
                  input_stats: Mapping[str, SignalStats],
                  seed: int,
@@ -196,7 +238,16 @@ def run_restarts(circuit: Circuit,
     runs inline (no pool, no pickling of numpy state); higher values
     fan out over a process pool with ``chunksize=1`` — restart costs
     vary, so welding them into chunks would serialise the slow ones.
+    Results are consumed as they complete (``imap_unordered``, feeding
+    the live progress channel) and reassembled by restart index, so the
+    returned list — and everything derived from it — is independent of
+    completion order.
     """
+    from ..obs import trace as _trace
+
+    tracer = _trace.ACTIVE
+    trace_ref = ((tracer.path, tracer._t0)
+                 if tracer is not None and tracer.path is not None else None)
     spec = circuit_spec(circuit)
     stats_rows = [
         (net, input_stats[net].probability, input_stats[net].density)
@@ -209,11 +260,24 @@ def run_restarts(circuit: Circuit,
             "seed": restart_seed(seed, index),
             "index": index,
             "params": dict(params),
+            "trace": trace_ref,
         }
         for index in range(restarts)
     ]
     if jobs == 1 or restarts == 1:
-        return [_run_restart(payload) for payload in payloads]
+        outcomes = []
+        for done, payload in enumerate(payloads, start=1):
+            outcome = _run_restart(payload)
+            outcomes.append(outcome)
+            _restart_progress(outcome, done, restarts)
+        return outcomes
+    ordered: List[Optional[Dict[str, object]]] = [None] * restarts
     with multiprocessing.get_context().Pool(
             processes=min(jobs, restarts)) as pool:
-        return pool.map(_run_restart, payloads, chunksize=1)
+        done = 0
+        for outcome in pool.imap_unordered(_run_restart, payloads,
+                                           chunksize=1):
+            done += 1
+            ordered[outcome["index"]] = outcome
+            _restart_progress(outcome, done, restarts)
+    return ordered

@@ -91,6 +91,7 @@ from ..circuit.netlist import (
 from ..compiled.flags import use_compiled
 from ..core.power_model import GatePowerModel
 from ..gates.capacitance import pin_terminal_counts
+from ..obs import progress as _progress
 from ..obs import trace as _trace
 from ..obs.metrics import REGISTRY as _GLOBAL_METRICS
 from ..sim.bitsim import stream_rng
@@ -1000,6 +1001,11 @@ def _greedy(state: _Search, max_rounds: Optional[int]) -> int:
                     )
             if tracer is not None:
                 span.note(accepted=len(state.accepted) - accepted_before)
+        sink = _progress.ACTIVE
+        if sink is not None:
+            sink.emit("search.round", round=rounds, queue=len(queue),
+                      accepted=len(state.accepted), trials=state.trials,
+                      score=state.score)
     return rounds
 
 
@@ -1052,6 +1058,11 @@ def _anneal(state: _Search, seed: int, initial_temp: float, cooling: float,
         # the trace bookkeeping, so accepted moves re-apply for real.
         if accept:
             state.accept(move, temperature)
+        sink = _progress.ACTIVE
+        if sink is not None:
+            sink.emit("search.anneal", step=steps, budget=budget,
+                      accepted=len(state.accepted),
+                      temperature=temperature, score=state.score)
     return steps
 
 
@@ -1249,11 +1260,12 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
     best = min(outcomes, key=lambda entry: (entry["score"], entry["index"]))
     tracer = _trace.ACTIVE
     if tracer is not None:
-        # Worker processes stay silent (the tracer's pid guard), so the
-        # parent records one instant per restart outcome plus the merge
-        # decision; per-restart wall time rides along in the outcome
-        # dicts and never reaches the artifact (summaries select
-        # explicit keys below).
+        # Workers write their own portfolio.anneal spans to per-pid
+        # shards; the parent still records one instant per restart
+        # outcome plus the merge decision, so a summarize of just the
+        # main file tells the portfolio story too.  Per-restart wall
+        # time rides along in the outcome dicts and never reaches the
+        # artifact (summaries select explicit keys below).
         for entry in outcomes:
             tracer.instant(
                 "portfolio.restart", index=entry["index"],

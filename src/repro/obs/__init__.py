@@ -1,6 +1,6 @@
 """``repro.obs`` — tracing, metrics and profiling with zero cost when off.
 
-The engine's observability layer, three pieces (see README.md):
+The engine's observability layer (see README.md):
 
 * :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / ``Histogram``
   (fixed bucket edges, byte-stable snapshots) and the registries that
@@ -8,26 +8,50 @@ The engine's observability layer, three pieces (see README.md):
   ``TimingCache``, the search engine and the compiled kernels;
 * :mod:`repro.obs.trace` — the JSONL span tracer
   (``REPRO_TRACE=path`` / ``repro ... --trace path``), a strict no-op
-  while disabled;
+  while disabled; forked workers shard to ``<trace>.pid<N>.jsonl``;
+* :mod:`repro.obs.shards` — the deterministic cross-process shard
+  merge behind ``repro trace merge`` (auto-run on traced-CLI exit);
 * :mod:`repro.obs.summarize` — the ``repro trace summarize`` reducer:
-  per-span-name count/total/self/p50/p95 plus the slowest spans.
+  per-span-name count/total/self/p50/p95 plus the slowest spans,
+  damage-tolerant (truncated tails, crashed-process dangling spans);
+* :mod:`repro.obs.export` — ``repro trace export --format chrome``:
+  Chrome/Perfetto trace-event JSON for ``chrome://tracing``;
+* :mod:`repro.obs.perfdb` — the perf-regression baseline store behind
+  ``repro bench check --baseline`` / ``repro bench baseline``;
+* :mod:`repro.obs.progress` — the opt-in ``--progress`` live status
+  channel (stderr, rate-limited).
 
 The contract that makes instrumentation safe to leave in hot paths:
 **off means off** (one module-global read and an ``is not None`` test;
 no allocations — held to < 2% of ``bench_eco_search`` by
 ``benchmarks/bench_obs_overhead.py``) and **tracing never touches
 artifacts** (timestamps exist only in the trace stream; result JSON is
-byte-identical with tracing on, locked by ``tests/test_obs.py``).
+byte-identical with tracing on and across worker counts, locked by
+``tests/test_obs.py`` / ``tests/test_trace_shards.py``).
 """
 
-from . import metrics, summarize, trace
+from . import export, metrics, perfdb, progress, shards, summarize, trace
 from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
-from .trace import Tracer, disable, enable, enabled, instant, span, start
+from .trace import (
+    Tracer,
+    adopt,
+    disable,
+    enable,
+    enabled,
+    flush,
+    instant,
+    span,
+    start,
+)
 
 __all__ = [
     "metrics",
     "trace",
+    "shards",
     "summarize",
+    "export",
+    "perfdb",
+    "progress",
     "Counter",
     "Gauge",
     "Histogram",
@@ -40,4 +64,6 @@ __all__ = [
     "enable",
     "disable",
     "start",
+    "adopt",
+    "flush",
 ]

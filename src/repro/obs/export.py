@@ -1,0 +1,116 @@
+"""Chrome trace-event export: open ``repro`` traces in ``chrome://tracing``.
+
+Converts the tracer's JSONL stream (see :mod:`repro.obs.trace`) into
+the Chrome/Perfetto trace-event JSON format, so a merged multi-process
+trace renders as one timeline with a lane per process:
+
+==  =================================================================
+ev  Chrome event
+==  =================================================================
+B   ``ph="B"`` duration-begin — ``name``, ``ts`` (µs), ``pid``/``tid``
+E   ``ph="E"`` duration-end (span-end ``attrs`` become ``args``)
+I   ``ph="i"`` instant, thread-scoped (``s="t"``)
+M   ``ph="C"`` counter named ``metrics`` carrying the snapshot's
+    numeric entries (non-numeric entries are dropped)
+==  =================================================================
+
+``ts`` is the record's ``ts_ns`` divided by 1000 (Chrome wants
+microseconds); all processes of one trace share a clock origin, so
+cross-process ordering survives the conversion.  ``tid`` duplicates
+``pid`` — the tracer is single-threaded per process.  Records missing a
+``pid`` (pre-shard traces) land on pid 0.  Output is the
+``{"traceEvents": [...]}`` wrapper object, serialized with sorted keys
+so exports are byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["chrome_events", "chrome_trace", "export_chrome_file"]
+
+
+def chrome_events(records: Iterable[dict]) -> List[dict]:
+    """Map tracer records to Chrome trace-event dicts, in stream order."""
+    events: List[dict] = []
+    for record in records:
+        ev = record.get("ev")
+        pid = record.get("pid")
+        pid = int(pid) if isinstance(pid, int) else 0
+        ts = int(record.get("ts_ns", 0)) / 1000.0
+        if ev in ("B", "E"):
+            event = {
+                "ph": ev,
+                "name": str(record.get("name", "?")),
+                "cat": "repro",
+                "ts": ts,
+                "pid": pid,
+                "tid": pid,
+            }
+            attrs = record.get("attrs")
+            if isinstance(attrs, dict) and attrs:
+                event["args"] = attrs
+            if record.get("error"):
+                event.setdefault("args", {})["error"] = True
+            events.append(event)
+        elif ev == "I":
+            event = {
+                "ph": "i",
+                "name": str(record.get("name", "?")),
+                "cat": "repro",
+                "ts": ts,
+                "pid": pid,
+                "tid": pid,
+                "s": "t",
+            }
+            attrs = record.get("attrs")
+            if isinstance(attrs, dict) and attrs:
+                event["args"] = attrs
+            events.append(event)
+        elif ev == "M":
+            payload = record.get("metrics")
+            if not isinstance(payload, dict):
+                continue
+            numbers = {
+                key: value for key, value in payload.items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            }
+            if numbers:
+                events.append({
+                    "ph": "C",
+                    "name": "metrics",
+                    "cat": "repro",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": pid,
+                    "args": numbers,
+                })
+    return events
+
+
+def chrome_trace(records: Iterable[dict]) -> Dict[str, object]:
+    """The full Chrome trace object for an event stream."""
+    return {
+        "traceEvents": chrome_events(records),
+        "displayTimeUnit": "ms",
+    }
+
+
+def export_chrome_file(path: str, out: Optional[str] = None) -> str:
+    """Convert the trace at ``path``; write to ``out`` when given.
+
+    Returns the serialized JSON either way.  Reading tolerates damaged
+    lines the same way ``summarize`` does (they are simply dropped).
+    """
+    from .summarize import RecordReader
+
+    text = json.dumps(
+        chrome_trace(RecordReader(path)), sort_keys=True,
+        separators=(",", ":"),
+    ) + "\n"
+    if out is not None:
+        with open(out, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,288 @@
+"""Perf-regression harness: a baseline store for bench headline numbers.
+
+The weekly bench sweep emits ``BENCH_*.json`` artifacts full of speedup
+factors and wall times that, until now, nobody compared against
+anything — a 30% hot-path slowdown inside the ≥5x/≥10x floors would
+land silently.  This module closes the loop:
+
+* :func:`headline_metrics` extracts the headline numbers from a bench
+  or suite artifact (see :mod:`repro.bench.runner` for the schemas) as
+  named :class:`Metric` values with a regression *direction* and a
+  tolerance *kind*.
+* :func:`append_artifact` records them (with the artifact's
+  ``environment_meta``) as a new entry in a committed baseline file —
+  ``benchmarks/BASELINE.json`` is the repo's; later entries supersede
+  earlier ones metric-by-metric, so the file is an append-only history.
+* :func:`check_metrics` compares a fresh run against the folded
+  baseline with per-metric relative thresholds; ``repro bench check
+  --baseline`` renders the (deterministic) table and exits nonzero on
+  any ``REGRESSED`` row.
+
+Metric naming is ``<source>/<row key>/<field>``.  Direction and kind
+come from the field name: ``*speedup*``/``*reduction*`` fields are
+higher-is-better machine-relative ratios (default tolerance
+|Δ| ≤ 35%), while ``*_s``/``*_ns`` wall times and ``*_fraction``
+overheads are lower-is-better; wall times get a deliberately loose
+default (≤ 2x) because the baseline machine and the checking machine
+usually differ — tighten with ``--tolerance`` when comparing runs from
+one box.  Metrics present on only one side report ``new``/``absent``
+and never fail the check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_TOLERANCES",
+    "Metric",
+    "CheckRow",
+    "CheckResult",
+    "headline_metrics",
+    "empty_store",
+    "load_baseline",
+    "append_artifact",
+    "baseline_metrics",
+    "check_metrics",
+    "render_check",
+]
+
+BASELINE_SCHEMA = 1
+
+#: Default relative tolerance per metric kind: ``ratio`` metrics
+#: (speedups, overhead fractions) are machine-relative and stable;
+#: ``wall`` metrics compare absolute seconds across possibly-different
+#: hardware.
+DEFAULT_TOLERANCES = {"ratio": 0.35, "wall": 1.0}
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One headline number: value plus how to judge a change in it."""
+
+    name: str
+    value: float
+    direction: str  # "higher" | "lower" (which way is better)
+    kind: str       # "ratio" | "wall" (which default tolerance applies)
+
+
+def _classify(field: str) -> Optional[tuple]:
+    """``(direction, kind)`` for a result field, or ``None`` to skip it."""
+    if "speedup" in field or "reduction" in field:
+        return ("higher", "ratio")
+    if field.endswith("_fraction"):
+        return ("lower", "ratio")
+    if field.endswith("_s") or field.endswith("_ns"):
+        return ("lower", "wall")
+    return None
+
+
+def headline_metrics(artifact: Mapping[str, object]) -> Dict[str, Metric]:
+    """Extract the named headline metrics of a bench or suite artifact."""
+    metrics: Dict[str, Metric] = {}
+
+    def add(name: str, value: object, direction: str, kind: str) -> None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[name] = Metric(name, float(value), direction, kind)
+
+    results = artifact.get("results")
+    rows = results if isinstance(results, list) else []
+    bench = artifact.get("bench")
+    if isinstance(bench, Mapping):
+        source = str(bench.get("name", "bench"))
+        for index, row in enumerate(rows):
+            if not isinstance(row, Mapping):
+                continue
+            key = str(row.get("mode") or row.get("circuit") or index)
+            for field in sorted(row):
+                spec = _classify(str(field))
+                if spec is not None:
+                    add(f"{source}/{key}/{field}", row[field], *spec)
+    elif isinstance(artifact.get("suite"), Mapping):
+        suite = artifact["suite"]
+        source = f"suite-{suite.get('subset', '?')}"
+        for row in rows:
+            if not isinstance(row, Mapping):
+                continue
+            key = f"{row.get('circuit', '?')}:{row.get('scenario', '?')}"
+            add(f"{source}/{key}/elapsed_s", row.get("elapsed_s"),
+                "lower", "wall")
+        add(f"{source}/total/elapsed_s", artifact.get("elapsed_s"),
+            "lower", "wall")
+    else:
+        raise ValueError(
+            "artifact carries no headline metrics (neither a bench nor a "
+            "suite artifact)"
+        )
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# The baseline store
+# ----------------------------------------------------------------------
+def empty_store() -> Dict[str, object]:
+    return {"schema": BASELINE_SCHEMA, "entries": []}
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        store = json.load(handle)
+    if not isinstance(store, dict) or store.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a schema-{BASELINE_SCHEMA} baseline")
+    if not isinstance(store.get("entries"), list):
+        raise ValueError(f"{path}: baseline has no entries list")
+    return store
+
+
+def append_artifact(
+    path: str,
+    artifact: Mapping[str, object],
+    label: Optional[str] = None,
+) -> Dict[str, object]:
+    """Record an artifact's headline metrics as a new baseline entry."""
+    if os.path.exists(path):
+        store = load_baseline(path)
+    else:
+        store = empty_store()
+    entry: Dict[str, object] = {
+        "metrics": {
+            metric.name: {
+                "value": metric.value,
+                "direction": metric.direction,
+                "kind": metric.kind,
+            }
+            for metric in headline_metrics(artifact).values()
+        },
+    }
+    if label:
+        entry["label"] = label
+    meta = artifact.get("meta")
+    if isinstance(meta, Mapping):
+        entry["meta"] = dict(meta)
+    store["entries"].append(entry)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(store, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry
+
+
+def baseline_metrics(store: Mapping[str, object]) -> Dict[str, Metric]:
+    """Fold the entry history: the latest value of each metric wins."""
+    folded: Dict[str, Metric] = {}
+    for entry in store.get("entries", ()):
+        if not isinstance(entry, Mapping):
+            continue
+        recorded = entry.get("metrics")
+        if not isinstance(recorded, Mapping):
+            continue
+        for name in recorded:
+            spec = recorded[name]
+            if not isinstance(spec, Mapping):
+                continue
+            value = spec.get("value")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                folded[str(name)] = Metric(
+                    str(name),
+                    float(value),
+                    str(spec.get("direction", "lower")),
+                    str(spec.get("kind", "wall")),
+                )
+    return folded
+
+
+# ----------------------------------------------------------------------
+# The check
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckRow:
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    ratio: Optional[float]
+    tolerance: Optional[float]
+    status: str  # "ok" | "REGRESSED" | "new" | "absent"
+
+
+@dataclass
+class CheckResult:
+    rows: List[CheckRow]
+
+    @property
+    def regressions(self) -> List[CheckRow]:
+        return [row for row in self.rows if row.status == "REGRESSED"]
+
+
+def check_metrics(
+    current: Mapping[str, Metric],
+    baseline: Mapping[str, Metric],
+    tolerance: Optional[float] = None,
+) -> CheckResult:
+    """Judge a current run against a folded baseline, metric by metric.
+
+    A lower-is-better metric regresses when current exceeds baseline by
+    more than its relative tolerance; a higher-is-better one when it
+    falls short by more.  An explicit ``tolerance`` overrides the
+    per-kind defaults for every metric.
+    """
+    rows: List[CheckRow] = []
+    for name in sorted(set(current) | set(baseline)):
+        cur = current.get(name)
+        base = baseline.get(name)
+        if base is None:
+            rows.append(CheckRow(name, None, cur.value, None, None, "new"))
+            continue
+        if cur is None:
+            rows.append(CheckRow(name, base.value, None, None, None,
+                                 "absent"))
+            continue
+        tol = tolerance if tolerance is not None else \
+            DEFAULT_TOLERANCES.get(base.kind, DEFAULT_TOLERANCES["wall"])
+        ratio = cur.value / base.value if base.value else None
+        if ratio is None:
+            regressed = False
+        elif base.direction == "higher":
+            regressed = ratio < 1.0 - tol
+        else:
+            regressed = ratio > 1.0 + tol
+        rows.append(CheckRow(
+            name, base.value, cur.value, ratio, tol,
+            "REGRESSED" if regressed else "ok",
+        ))
+    return CheckResult(rows)
+
+
+def _num(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
+def render_check(result: CheckResult) -> str:
+    """The deterministic table ``repro bench check`` prints."""
+    from ..analysis.report import format_table
+
+    rows = []
+    for row in result.rows:
+        change = "-"
+        if row.ratio is not None:
+            change = f"{(row.ratio - 1.0) * 100.0:+.1f}%"
+        tol = "-" if row.tolerance is None else f"{row.tolerance * 100:.0f}%"
+        rows.append((row.name, _num(row.baseline), _num(row.current),
+                     change, tol, row.status))
+    regressed = len(result.regressions)
+    checked = sum(1 for row in result.rows if row.status in ("ok",
+                                                             "REGRESSED"))
+    table = format_table(
+        ("metric", "baseline", "current", "change", "tol", "status"),
+        rows,
+        title=f"bench check - {checked} compared, {regressed} regressed",
+    )
+    lines = [table]
+    if regressed:
+        lines.append("")
+        lines.append(f"REGRESSION: {regressed} metric(s) beyond tolerance")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,90 @@
+"""Live progress streaming: opt-in, rate-limited, stderr.
+
+Hour-long searches on large circuits are silent today unless tracing is
+on — and a trace is a post-mortem artifact, not a heartbeat.  This
+module is the heartbeat: ``--progress`` (any traced subcommand has it)
+installs a process-wide :class:`Progress` sink and the existing
+instrumentation touchpoints (greedy rounds, anneal steps, portfolio
+restart completions, bench cases) feed it one-line status updates::
+
+    [    12.3s] search.round round=41 queue=388 accepted=12 power=17.304
+
+The channel is stderr so it never contaminates piped artifact output,
+and emission is rate-limited (default one line per 0.25 s; milestone
+events pass ``force=True``) so a hot anneal loop cannot flood the
+terminal.  The same zero-overhead contract as tracing applies: hot call
+sites read :data:`ACTIVE` and skip all work — **no kwargs dict is ever
+built** — when it is ``None``.  Forked workers inherit an enabled
+sink but stay silent (pid guard): only the parent narrates.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["ACTIVE", "Progress", "enable", "disable", "emit"]
+
+#: The process-wide live progress sink, or ``None`` when off.  Hot
+#: paths read this directly and skip all further work on ``None``.
+ACTIVE: Optional["Progress"] = None
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Progress:
+    """A rate-limited line writer for live status updates."""
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 interval: float = 0.25):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.emitted = 0
+        self._pid = os.getpid()
+        self._t0 = time.monotonic()
+        self._last = float("-inf")
+
+    def emit(self, name: str, force: bool = False, **fields) -> None:
+        """Write one status line, unless rate-limited (or in a child)."""
+        if os.getpid() != self._pid:
+            return
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        self._last = now
+        parts = " ".join(f"{key}={_fmt(fields[key])}" for key in fields)
+        line = f"[{now - self._t0:8.1f}s] {name}"
+        if parts:
+            line += " " + parts
+        try:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self.emitted += 1
+
+
+def enable(stream: Optional[IO[str]] = None,
+           interval: float = 0.25) -> Progress:
+    """Install a live progress sink (replacing any existing one)."""
+    global ACTIVE
+    ACTIVE = Progress(stream, interval)
+    return ACTIVE
+
+
+def disable() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def emit(name: str, force: bool = False, **fields) -> None:
+    """Convenience emit for cold call sites (hot loops guard ACTIVE)."""
+    sink = ACTIVE
+    if sink is not None:
+        sink.emit(name, force=force, **fields)

@@ -1,0 +1,82 @@
+"""Deterministic merge of per-pid trace shards into one stream.
+
+Multi-process runs leave one main trace file (the parent's) plus one
+``<trace>.pid<N>.jsonl`` shard per worker process (see
+:func:`repro.obs.trace.shard_path`).  :func:`merge_file` interleaves
+them back into a single JSONL stream ordered by ``(ts_ns, pid,
+emission order)`` — timestamps share one ``CLOCK_MONOTONIC`` origin, so
+the merged stream is a faithful machine-wide timeline, and the sort key
+is a total order: **the merged bytes are identical for any worker
+completion order**.  Records are re-serialized in the tracer's
+canonical form (sorted keys, compact separators), and malformed tail
+lines (a worker killed mid-write) are dropped, the same policy
+:mod:`repro.obs.summarize` applies when reading.
+
+The CLI front end is ``repro trace merge``; ``repro.cli.main``
+auto-invokes the merge when a traced command exits, so by the time the
+prompt returns the main trace file already contains every worker span.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from .trace import find_shards, shard_path  # noqa: F401  (re-exported)
+
+__all__ = ["find_shards", "shard_path", "merge_file", "merge_records"]
+
+
+def merge_records(streams) -> List[dict]:
+    """Interleave record streams into ``(ts_ns, pid, seq)`` order.
+
+    ``streams`` is an iterable of record iterables (e.g.
+    :class:`~repro.obs.summarize.RecordReader` instances).  ``seq`` is
+    the record's position within its own stream, so equal-timestamp
+    records from one process keep their emission order; ``pid`` breaks
+    ties across processes.  The result is independent of the order the
+    streams are supplied in.
+    """
+    keyed = []
+    for stream in streams:
+        for seq, record in enumerate(stream):
+            pid = record.get("pid")
+            pid = int(pid) if isinstance(pid, int) else -1
+            keyed.append((int(record.get("ts_ns", 0)), pid, seq, record))
+    keyed.sort(key=lambda item: item[:3])
+    return [record for _, _, _, record in keyed]
+
+
+def merge_file(
+    path: str,
+    out: Optional[str] = None,
+    keep_shards: bool = False,
+) -> int:
+    """Merge ``path``'s shards into it (or into ``out``); count shards.
+
+    With no shards present and no explicit ``out`` this is a no-op that
+    leaves the main file byte-untouched.  After an in-place merge the
+    consumed shard files are removed unless ``keep_shards``; merging to
+    a separate ``out`` never deletes its inputs.
+    """
+    from .summarize import RecordReader
+
+    shards = find_shards(path)
+    if not shards and out is None:
+        return 0
+    sources = [path] + shards if os.path.exists(path) else list(shards)
+    merged = merge_records(RecordReader(source) for source in sources)
+    target = out if out is not None else path
+    with open(target, "w") as handle:
+        for record in merged:
+            handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+    if out is None and not keep_shards:
+        for shard in shards:
+            try:
+                os.unlink(shard)
+            except OSError:
+                pass
+    return len(shards)

@@ -6,6 +6,17 @@ and reduces it to a per-span-name table — count, total time, self time
 top-N list of the slowest individual spans, so a trace is readable
 without any external tooling.
 
+Merged multi-process traces (see :mod:`repro.obs.shards`) interleave
+records from several pids; nesting is tracked with one open-span stack
+per pid, so a worker's spans never count as children of a parent-side
+span they merely interleave with.  Damage is tolerated, not fatal: a
+truncated tail line (a killed process mid-write) is dropped and counted
+in :attr:`TraceSummary.truncated_records`, and spans left open at end
+of stream (a crashed process) are closed synthetically at that pid's
+last-seen timestamp and flagged in :attr:`SpanStats.unclosed` — their
+time still lands in the right rows instead of silently inflating an
+unrelated span's child time.
+
 Everything here is deterministic for a given input file: span rows are
 ordered by descending total time with the span name as tie-break, the
 slowest list by descending duration then timestamp, and percentiles use
@@ -22,6 +33,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 __all__ = [
     "SpanStats",
     "TraceSummary",
+    "RecordReader",
     "read_records",
     "summarize_records",
     "summarize_file",
@@ -38,6 +50,9 @@ class SpanStats:
     total_ns: int = 0
     self_ns: int = 0
     errors: int = 0
+    unclosed: int = 0
+    """Spans of this name closed synthetically (no E record seen)."""
+
     durations: List[int] = field(default_factory=list)
 
     def percentile(self, q: float) -> int:
@@ -71,71 +86,141 @@ class TraceSummary:
     unclosed: List[str] = field(default_factory=list)
     """Names of spans begun but never ended (a crashed or truncated run)."""
 
+    truncated_records: int = 0
+    """Malformed lines dropped while reading (a worker killed mid-write)."""
+
     metrics: Optional[Dict[str, object]] = None
     """The last metrics-snapshot (``M``) record's payload, if any."""
 
 
-def read_records(path: str) -> Iterator[dict]:
-    """Yield the JSON records of a trace file, skipping malformed lines.
+class RecordReader:
+    """Iterate a trace file's JSON records, counting damaged lines.
 
     A trace cut short mid-line (a killed process) should still
-    summarize; the damaged tail is dropped, not fatal.
+    summarize; malformed or non-object lines are skipped and tallied in
+    :attr:`truncated`, which is only complete once iteration finishes.
+    The file is opened with ``errors="replace"`` so even a multi-byte
+    character split by the cut cannot raise ``UnicodeDecodeError``.
     """
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict):
-                yield record
+
+    def __init__(self, path: str):
+        self.path = path
+        self.truncated = 0
+
+    def __iter__(self) -> Iterator[dict]:
+        with open(self.path, encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.truncated += 1
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                else:
+                    self.truncated += 1
+
+
+def read_records(path: str) -> Iterable[dict]:
+    """The records of a trace file, skipping (and counting) damage."""
+    return RecordReader(path)
 
 
 def summarize_records(records: Iterable[dict]) -> TraceSummary:
     """Reduce an event stream to per-name statistics and a slowest list."""
     stats: Dict[str, SpanStats] = {}
-    #: Open-span stack entries: ``[name, child_ns]`` — child time
-    #: accumulates as nested spans end, so self = dur - child_ns.
-    stack: List[List[object]] = []
+    #: Per-pid open-span stacks; entries ``[name, child_ns, begin_ts]``
+    #: — child time accumulates as nested spans end, so
+    #: self = dur - child_ns.
+    stacks: Dict[object, List[List[object]]] = {}
+    last_ts: Dict[object, int] = {}
     slowest: List[Tuple[int, int, str, int]] = []
+    unclosed_names: List[str] = []
     count = 0
     instants = 0
     metrics: Optional[Dict[str, object]] = None
+
+    def entry_for(name: str) -> SpanStats:
+        entry = stats.get(name)
+        if entry is None:
+            entry = stats[name] = SpanStats(name)
+        return entry
+
+    def close_dangling(stack: List[List[object]], at_ts: int) -> None:
+        # Synthetically end the innermost open span at ``at_ts``: its
+        # time is bounded by the event that proved it never closed (the
+        # enclosing E, or end of stream).  Charged as child time to its
+        # parent like a real close, but kept out of the slowest list —
+        # the duration is a floor, not a measurement.
+        name, child_ns, begin_ts = stack.pop()
+        dur = max(0, int(at_ts) - int(begin_ts))
+        if stack:
+            stack[-1][1] += dur
+        entry = entry_for(str(name))
+        entry.count += 1
+        entry.total_ns += dur
+        entry.self_ns += dur - int(child_ns)
+        entry.durations.append(dur)
+        entry.unclosed += 1
+        unclosed_names.append(str(name))
+
     for record in records:
         count += 1
         ev = record.get("ev")
+        pid = record.get("pid")
+        ts = int(record.get("ts_ns", 0))
+        stack = stacks.setdefault(pid, [])
+        if ts > last_ts.get(pid, 0):
+            last_ts[pid] = ts
         if ev == "B":
-            stack.append([record.get("name", "?"), 0])
+            stack.append([record.get("name", "?"), 0, ts])
         elif ev == "E":
             name = record.get("name", "?")
             dur = int(record.get("dur_ns", 0))
             child_ns = 0
-            # Tolerate streams whose B was lost (truncated head): only
-            # pop when the top matches this span's name.
-            if stack and stack[-1][0] == name:
+            # Find this E's B on the stack.  Anything above it is a
+            # dangling span (a crashed child, a lost E): close those
+            # synthetically at this E's timestamp.  An E with no B at
+            # all (truncated head) just charges its parent, as before.
+            match = None
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][0] == name:
+                    match = index
+                    break
+            if match is not None:
+                while len(stack) - 1 > match:
+                    close_dangling(stack, ts)
                 child_ns = int(stack.pop()[1])
             if stack:
                 stack[-1][1] += dur
-            entry = stats.get(name)
-            if entry is None:
-                entry = stats[name] = SpanStats(name)
+            entry = entry_for(name)
             entry.count += 1
             entry.total_ns += dur
             entry.self_ns += dur - child_ns
             entry.durations.append(dur)
             if record.get("error"):
                 entry.errors += 1
-            slowest.append((dur, int(record.get("ts_ns", 0)), name,
-                            int(record.get("depth", 0))))
+            slowest.append((dur, ts, name, int(record.get("depth", 0))))
         elif ev == "I":
             instants += 1
         elif ev == "M":
             payload = record.get("metrics")
             if isinstance(payload, dict):
                 metrics = payload
+    # End of stream: whatever is still open died with its process.
+    pid_order = sorted(
+        stacks,
+        key=lambda p: (not isinstance(p, int),
+                       p if isinstance(p, int) else 0, str(p)),
+    )
+    for pid in pid_order:
+        stack = stacks[pid]
+        at_ts = last_ts.get(pid, 0)
+        while stack:
+            close_dangling(stack, at_ts)
     slowest.sort(key=lambda item: (-item[0], item[1], item[2]))
     ordered = sorted(stats.values(), key=lambda s: (-s.total_ns, s.name))
     return TraceSummary(
@@ -143,13 +228,16 @@ def summarize_records(records: Iterable[dict]) -> TraceSummary:
         slowest=slowest,
         records=count,
         instants=instants,
-        unclosed=[str(entry[0]) for entry in stack],
+        unclosed=unclosed_names,
         metrics=metrics,
     )
 
 
 def summarize_file(path: str) -> TraceSummary:
-    return summarize_records(read_records(path))
+    reader = RecordReader(path)
+    summary = summarize_records(reader)
+    summary.truncated_records = reader.truncated
+    return summary
 
 
 def _ms(ns: int) -> str:
@@ -161,19 +249,25 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
     from ..analysis.report import format_table
 
     lines: List[str] = []
-    rows = [
-        (
+    flag_unclosed = any(entry.unclosed for entry in summary.spans)
+    headers = ["span", "count", "total ms", "self ms", "p50 ms", "p95 ms"]
+    if flag_unclosed:
+        headers.append("unclosed")
+    rows = []
+    for entry in summary.spans:
+        row = [
             entry.name,
             entry.count,
             _ms(entry.total_ns),
             _ms(entry.self_ns),
             _ms(entry.percentile(0.50)),
             _ms(entry.percentile(0.95)),
-        )
-        for entry in summary.spans
-    ]
+        ]
+        if flag_unclosed:
+            row.append(entry.unclosed or "")
+        rows.append(tuple(row))
     lines.append(format_table(
-        ("span", "count", "total ms", "self ms", "p50 ms", "p95 ms"),
+        tuple(headers),
         rows,
         title=f"trace summary - {summary.records} records, "
               f"{summary.instants} instants",
@@ -191,8 +285,15 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
     if summary.unclosed:
         lines.append("")
         lines.append(
-            f"WARNING: {len(summary.unclosed)} span(s) never closed: "
+            f"WARNING: {len(summary.unclosed)} span(s) never closed "
+            "(ended synthetically at last-seen ts): "
             + ", ".join(summary.unclosed)
+        )
+    if summary.truncated_records:
+        lines.append("")
+        lines.append(
+            f"WARNING: {summary.truncated_records} malformed line(s) "
+            "dropped (trace cut short mid-write?)"
         )
     if summary.metrics is not None:
         lines.append("")

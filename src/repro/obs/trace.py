@@ -33,14 +33,27 @@ M   metrics snapshot — ``metrics`` (a
 ==  ====================================================================
 
 ``ts_ns`` is ``time.perf_counter_ns()`` relative to the tracer's
-creation: monotonic, meaningless across processes, and **never copied
-into result artifacts** — enabling tracing must not perturb a single
-artifact byte (``tests/test_obs.py`` locks this).  Spans are
-exception-safe: a raising body still emits the E record (flagged
-``error``), so the stream never carries dangling spans.  Worker
-processes that inherit an enabled tracer over ``fork`` detect the pid
-change and go silent instead of interleaving writes into the parent's
-stream.
+creation — ``CLOCK_MONOTONIC``, so it is comparable across the
+processes of one machine — and **never copied into result artifacts**:
+enabling tracing must not perturb a single artifact byte
+(``tests/test_obs.py`` locks this).  Every record carries the emitting
+``pid``.  Spans are exception-safe: a raising body still emits the E
+record (flagged ``error``), so the stream never carries dangling spans.
+
+Worker processes that inherit an enabled path-backed tracer over
+``fork`` detect the pid change on their first event and lazily reroute
+to a private *shard file* (``<trace>.pid<N>.jsonl``, see
+:func:`shard_path`) instead of interleaving writes into the parent's
+stream; the inherited parent handle is abandoned unflushed (its buffer
+is a fork-time copy of the parent's — flushing it would duplicate
+records).  ``spawn``-style workers join explicitly via :func:`adopt`,
+which opens the shard with the parent's clock origin so merged
+timestamps stay comparable.  Workers must call :func:`flush` before
+returning results: pool children exit via ``os._exit``, which skips
+interpreter-shutdown buffer flushing.  The parent interleaves shards
+back into the main file with :func:`repro.obs.shards.merge_file`
+(CLI: ``repro trace merge``, auto-invoked on traced-CLI exit).
+IO-backed tracers (no path) still go silent in children.
 
 Enable with ``REPRO_TRACE=path`` (the CLI honours it for every
 subcommand) or ``--trace path`` on ``repro search|eco|optimize|bench``,
@@ -49,10 +62,12 @@ or programmatically via :func:`enable`.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
+import re
 import time
-from typing import IO, Mapping, Optional, Union
+from typing import IO, List, Mapping, Optional, Union
 
 __all__ = [
     "ENV_VAR",
@@ -67,9 +82,30 @@ __all__ = [
     "enable",
     "disable",
     "start",
+    "shard_path",
+    "find_shards",
+    "adopt",
+    "flush",
 ]
 
 ENV_VAR = "REPRO_TRACE"
+
+_SHARD_SUFFIX = re.compile(r"\.pid(\d+)\.jsonl$")
+
+
+def shard_path(path: str, pid: int) -> str:
+    """The per-pid shard file a worker with ``pid`` writes for ``path``."""
+    return f"{path}.pid{pid}.jsonl"
+
+
+def find_shards(path: str) -> List[str]:
+    """Existing shard files for the trace at ``path``, sorted by pid."""
+    found = []
+    for candidate in glob.glob(glob.escape(path) + ".pid*.jsonl"):
+        match = _SHARD_SUFFIX.search(candidate)
+        if match:
+            found.append((int(match.group(1)), candidate))
+    return [shard for _, shard in sorted(found)]
 
 
 class _NullSpan:
@@ -153,11 +189,17 @@ class Span:
 class Tracer:
     """A JSONL trace-event writer bound to one file handle and one pid."""
 
-    def __init__(self, sink: Union[str, IO[str]]):
+    def __init__(self, sink: Union[str, IO[str]], *, mode: str = "w"):
         if isinstance(sink, str):
             directory = os.path.dirname(os.path.abspath(sink))
             os.makedirs(directory, exist_ok=True)
-            self._handle: IO[str] = open(sink, "w")
+            if mode == "w":
+                for stale in find_shards(sink):
+                    try:
+                        os.unlink(stale)
+                    except OSError:
+                        pass
+            self._handle: IO[str] = open(sink, mode)
             self._owns_handle = True
             self.path: Optional[str] = sink
         else:
@@ -168,28 +210,60 @@ class Tracer:
         self._t0 = time.perf_counter_ns()
         self._depth = 0
         self._closed = False
+        # Handle inherited across fork, parked unflushed (its buffer is a
+        # copy of the parent's pending records).
+        self._abandoned: Optional[IO[str]] = None
         #: Records emitted so far (the overhead benchmark counts the
         #: instrumentation touchpoints a workload hits through this).
         self.records = 0
 
     # ------------------------------------------------------------------
+    def _ensure_process(self) -> bool:
+        """True when this process may emit; reroutes forked children.
+
+        The first event after a pid change switches a path-backed tracer
+        onto this pid's shard file (append mode — pool workers are
+        reused).  The inherited handle must never be flushed or closed
+        here: its buffer duplicates the parent's unflushed records at a
+        shared file offset.  IO-backed tracers cannot shard and go
+        silent instead.
+        """
+        pid = os.getpid()
+        if pid == self._pid:
+            return not self._closed
+        if self.path is None or self._closed:
+            return False
+        try:
+            handle = open(shard_path(self.path, pid), "a")
+        except OSError:
+            self._closed = True
+            return False
+        self._abandoned = self._handle
+        self._handle = handle
+        self._owns_handle = True
+        self._pid = pid
+        self._depth = 0
+        self.records = 0
+        return True
+
     def _emit(self, record: dict) -> None:
         if self._closed:
             return
+        record["pid"] = self._pid
         self._handle.write(
             json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         )
         self.records += 1
 
     def span(self, name: str, **attrs) -> Union[Span, _NullSpan]:
-        """A new span (or the null span in a forked child process)."""
-        if os.getpid() != self._pid:
+        """A new span (or the null span when this process cannot emit)."""
+        if not self._ensure_process():
             return NULL_SPAN
         return Span(self, name, attrs)
 
     def instant(self, name: str, **attrs) -> None:
         """Emit one point-in-time event at the current depth."""
-        if os.getpid() != self._pid:
+        if not self._ensure_process():
             return
         record = {
             "ev": "I",
@@ -203,7 +277,7 @@ class Tracer:
 
     def metrics(self, snapshot: Mapping[str, object]) -> None:
         """Emit a metrics-snapshot record (sorted keys, canonical form)."""
-        if os.getpid() != self._pid:
+        if not self._ensure_process():
             return
         self._emit({
             "ev": "M",
@@ -211,12 +285,25 @@ class Tracer:
             "metrics": dict(snapshot),
         })
 
-    def close(self) -> None:
-        if not self._closed:
-            self._closed = True
+    def flush(self) -> None:
+        """Flush the current stream (never an inherited parent handle)."""
+        if self._closed or os.getpid() != self._pid:
+            return
+        try:
             self._handle.flush()
-            if self._owns_handle:
-                self._handle.close()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if os.getpid() != self._pid:
+            # Inherited, never-rerouted handle: the parent owns it.
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
 
     def __repr__(self) -> str:
         return f"Tracer({self.path!r}, records={self.records})"
@@ -270,6 +357,36 @@ def disable() -> None:
     if ACTIVE is not None:
         ACTIVE.close()
         ACTIVE = None
+
+
+def adopt(path: str, t0_ns: int) -> Optional[Tracer]:
+    """Join a parent's trace from a worker process.
+
+    Under ``fork`` the child inherits the parent's live tracer (which
+    reroutes itself to a shard on first use) and this is a no-op; under
+    ``spawn`` — a fresh interpreter with ``ACTIVE is None`` — it opens
+    this pid's shard directly, carrying the parent's clock origin
+    ``t0_ns`` so merged timestamps stay comparable.
+    """
+    global ACTIVE
+    if ACTIVE is not None:
+        return ACTIVE
+    tracer = Tracer(shard_path(path, os.getpid()), mode="a")
+    tracer.path = path  # shard naming stays rooted at the parent's path
+    tracer._t0 = t0_ns
+    ACTIVE = tracer
+    return tracer
+
+
+def flush() -> None:
+    """Flush the live tracer's stream, if any.
+
+    Pool workers call this before returning results: children exit via
+    ``os._exit``, which skips interpreter-shutdown buffer flushing.
+    """
+    tracer = ACTIVE
+    if tracer is not None:
+        tracer.flush()
 
 
 def start(path: Optional[str] = None) -> Optional[Tracer]:

@@ -459,6 +459,66 @@ class TestTraceCLI:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_trace_merge_without_shards_is_a_noop(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        trace_path = tmp_path / "run.jsonl"
+        run_cli("search", blif, "--trace", str(trace_path))
+        before = trace_path.read_bytes()
+        code, text = run_cli("trace", "merge", str(trace_path))
+        assert code == 0
+        assert "no shards found" in text
+        assert trace_path.read_bytes() == before
+
+    def test_trace_merge_out_flag_writes_copy(self, tmp_path):
+        import json
+
+        blif = self.write_blif(tmp_path)
+        trace_path = tmp_path / "run.jsonl"
+        run_cli("search", blif, "--trace", str(trace_path))
+        merged = tmp_path / "merged.jsonl"
+        code, text = run_cli("trace", "merge", str(trace_path),
+                             "-o", str(merged))
+        assert code == 0 and "merged 0 shard(s)" in text
+        lines = merged.read_text().splitlines()
+        assert lines
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_trace_export_chrome_to_stdout_parses(self, tmp_path):
+        import json
+
+        blif = self.write_blif(tmp_path)
+        trace_path = tmp_path / "run.jsonl"
+        run_cli("search", blif, "--trace", str(trace_path))
+        code, text = run_cli("trace", "export", str(trace_path),
+                             "--format", "chrome")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("B", "E", "i", "C") for e in doc["traceEvents"])
+
+        out_path = tmp_path / "run.chrome.json"
+        code, text = run_cli("trace", "export", str(trace_path),
+                             "-o", str(out_path))
+        assert code == 0 and "wrote chrome trace" in text
+        assert json.loads(out_path.read_text()) == doc
+
+    def test_trace_export_missing_file_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace export"):
+            run_cli("trace", "export", str(tmp_path / "nope.jsonl"))
+
+    def test_progress_flag_streams_to_stderr(self, tmp_path, capsys):
+        from repro.obs import progress
+
+        blif = self.write_blif(tmp_path)
+        code, text = run_cli("search", blif, "--progress")
+        assert code == 0
+        assert progress.ACTIVE is None  # cleared once main() returns
+        err = capsys.readouterr().err
+        assert "search.round" in err
+        # progress must stay off the artifact/report channel
+        assert "search.round" not in text
+
     def test_eco_artifact_unperturbed_by_tracing(self, tmp_path):
         import json
 

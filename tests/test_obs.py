@@ -23,7 +23,7 @@ from repro.bench.generators import ripple_carry_adder
 from repro.bench.runner import dumps_artifact, strip_timing
 from repro.incremental import StatsCache, WhatIf, search_circuit
 from repro.incremental.eco import resolve_edit
-from repro.obs import metrics, trace
+from repro.obs import metrics, progress, trace
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.summarize import (
     render_summary,
@@ -36,10 +36,12 @@ from repro.synth.mapper import map_circuit
 
 @pytest.fixture(autouse=True)
 def _no_leaked_tracer():
-    """Every test starts and ends with tracing off."""
+    """Every test starts and ends with tracing and progress off."""
     trace.disable()
+    progress.disable()
     yield
     trace.disable()
+    progress.disable()
 
 
 @pytest.fixture(scope="module")
@@ -341,6 +343,47 @@ class TestSummarize:
         assert summary.unclosed == ["open"]
         assert summary.instants == 1
         assert summary.records == 2
+        # The two unparseable lines (garbage + the cut-short B) are
+        # counted, not fatal.
+        assert summary.truncated_records == 2
+
+    def test_dangling_open_span_does_not_steal_self_time(self):
+        """A B with no E is closed synthetically at the last-seen ts.
+
+        Before that fix, ``inner`` stayed on the stack forever: its 90 ns
+        were charged to nobody and ``outer`` kept all 100 ns as self
+        time, mis-attributing the hot path.
+        """
+        records = [
+            {"ev": "B", "name": "outer", "ts_ns": 0, "depth": 0},
+            {"ev": "B", "name": "inner", "ts_ns": 10, "depth": 1},
+            # inner's E was lost (crash, truncation) ...
+            {"ev": "E", "name": "outer", "ts_ns": 100, "depth": 0,
+             "dur_ns": 100},
+        ]
+        summary = summarize_records(records)
+        by_name = {entry.name: entry for entry in summary.spans}
+        assert summary.unclosed == ["inner"]
+        assert by_name["inner"].unclosed == 1
+        assert by_name["inner"].total_ns == 90  # closed at outer's E ts
+        assert by_name["outer"].self_ns == 10   # 100 minus inner's 90
+        assert by_name["outer"].unclosed == 0
+        # Synthetic durations are estimates: keep them out of "slowest".
+        assert all(name != "inner" for _, _, name, _ in summary.slowest)
+
+    def test_dangling_span_at_end_of_stream_closes_at_last_ts(self):
+        records = [
+            {"ev": "B", "name": "outer", "ts_ns": 0, "depth": 0},
+            {"ev": "I", "name": "tick", "ts_ns": 60, "depth": 1},
+            # stream ends: trace cut off mid-run
+        ]
+        summary = summarize_records(records)
+        entry = summary.spans[0]
+        assert summary.unclosed == ["outer"]
+        assert entry.unclosed == 1
+        assert entry.total_ns == 60  # last-seen timestamp
+        rendered = render_summary(summary)
+        assert "never closed" in rendered
 
     def test_render_is_deterministic(self, setting, tmp_path):
         circuit, input_stats = setting
@@ -353,6 +396,13 @@ class TestSummarize:
         assert one == two
         assert "trace summary" in one and "slowest spans" in one
 
+    def test_truncated_trace_renders_warning(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ev": "I", "name": "ok", "ts_ns": 1, "depth": 0}\n'
+                        '{"ev": "B", "na')
+        rendered = render_summary(summarize_file(str(path)))
+        assert "malformed line(s) dropped" in rendered
+
     def test_metrics_module_registry_roundtrip(self):
         registry = metrics.MetricsRegistry()
         registry.counter("c").inc(3)
@@ -364,3 +414,69 @@ class TestSummarize:
         summary = summarize_records(_records(sink))
         assert summary.metrics["c"] == 3
         assert summary.metrics["h"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Live progress streaming
+# ----------------------------------------------------------------------
+class TestProgress:
+    def test_disabled_module_emit_is_noop(self):
+        assert progress.ACTIVE is None
+        progress.emit("anything", n=1)  # no sink, no error
+
+    def test_emit_format_and_rate_limit(self):
+        sink = io.StringIO()
+        p = progress.Progress(sink, interval=3600.0)
+        p.emit("search.round", round=3, score=0.123456)
+        p.emit("search.round", round=4)  # rate-limited: huge interval
+        p.emit("milestone", force=True, done=1)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        assert p.emitted == 2
+        assert lines[0].endswith("search.round round=3 score=0.1235")
+        assert lines[0].startswith("[") and "s]" in lines[0]
+        assert lines[1].endswith("milestone done=1")
+
+    def test_zero_interval_never_limits(self):
+        sink = io.StringIO()
+        p = progress.Progress(sink, interval=0.0)
+        for i in range(5):
+            p.emit("tick", i=i)
+        assert p.emitted == 5
+
+    def test_forked_child_is_silent(self):
+        sink = io.StringIO()
+        p = progress.Progress(sink, interval=0.0)
+        p._pid += 1  # simulate a forked worker
+        p.emit("tick", force=True)
+        assert sink.getvalue() == "" and p.emitted == 0
+
+    def test_enable_disable_install_module_sink(self):
+        sink = io.StringIO()
+        installed = progress.enable(sink, interval=0.0)
+        assert progress.ACTIVE is installed
+        progress.emit("hello", n=2)
+        progress.disable()
+        assert progress.ACTIVE is None
+        assert "hello n=2" in sink.getvalue()
+
+    def test_search_emits_progress_lines(self, setting):
+        circuit, input_stats = setting
+        sink = io.StringIO()
+        progress.enable(sink, interval=0.0)
+        search_circuit(circuit, input_stats, strategy="greedy")
+        progress.disable()
+        lines = sink.getvalue().splitlines()
+        assert any("search.round" in line for line in lines)
+        assert all(line.startswith("[") for line in lines)
+
+    def test_progress_does_not_perturb_artifacts(self, setting):
+        circuit, input_stats = setting
+        quiet = search_circuit(circuit, input_stats, strategy="anneal",
+                               seed=7, anneal_trials=40)
+        progress.enable(io.StringIO(), interval=0.0)
+        noisy = search_circuit(circuit, input_stats, strategy="anneal",
+                               seed=7, anneal_trials=40)
+        progress.disable()
+        assert dumps_artifact(strip_timing(noisy.to_artifact())) == \
+            dumps_artifact(strip_timing(quiet.to_artifact()))

@@ -1,0 +1,199 @@
+"""The perf-regression harness (:mod:`repro.obs.perfdb`) and its CLI.
+
+Headline-metric extraction from both artifact shapes, the append-only
+baseline store with latest-entry-wins folding, direction-aware
+regression judgement, deterministic rendering, and the ``repro bench
+baseline`` / ``repro bench check`` front ends (check must exit nonzero
+on an injected regression and zero on an unchanged run).
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs import perfdb
+
+
+def _bench_artifact(speedup=6.0, serial_s=1.2, overhead=0.004):
+    return {
+        "schema": 1,
+        "bench": {"name": "parallel_search"},
+        "meta": {"python": "3.11", "hostname": "box"},
+        "results": [
+            {"mode": "portfolio-anneal", "speedup": speedup,
+             "serial_s": serial_s, "parallel_s": serial_s / speedup,
+             "restarts": 4},
+            {"mode": "overhead", "overhead_fraction": overhead},
+        ],
+    }
+
+
+def _suite_artifact(case_s=0.5, total_s=2.0):
+    return {
+        "schema": 1,
+        "suite": {"subset": "quick", "cases": ["c17"],
+                  "scenarios": ["A"], "seed": 0},
+        "jobs": 1,
+        "elapsed_s": total_s,
+        "meta": {"python": "3.11"},
+        "results": [
+            {"circuit": "c17", "scenario": "A", "gates": 6,
+             "model_reduction": 0.1, "elapsed_s": case_s},
+        ],
+    }
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestHeadlineMetrics:
+    def test_bench_artifact_fields_and_directions(self):
+        metrics = perfdb.headline_metrics(_bench_artifact())
+        by_name = {m.name: m for m in metrics.values()}
+        speedup = by_name["parallel_search/portfolio-anneal/speedup"]
+        assert speedup.value == 6.0
+        assert speedup.direction == "higher" and speedup.kind == "ratio"
+        serial = by_name["parallel_search/portfolio-anneal/serial_s"]
+        assert serial.direction == "lower" and serial.kind == "wall"
+        overhead = by_name["parallel_search/overhead/overhead_fraction"]
+        assert overhead.direction == "lower" and overhead.kind == "ratio"
+        # plain counts (restarts) never become metrics
+        assert not any(name.endswith("/restarts") for name in by_name)
+
+    def test_suite_artifact_rows_and_total(self):
+        metrics = perfdb.headline_metrics(_suite_artifact())
+        assert set(metrics) == {
+            "suite-quick/c17:A/elapsed_s",
+            "suite-quick/total/elapsed_s",
+        }
+        assert all(m.direction == "lower" and m.kind == "wall"
+                   for m in metrics.values())
+
+    def test_unrecognized_artifact_raises(self):
+        with pytest.raises(ValueError):
+            perfdb.headline_metrics({"schema": 1, "results": []})
+
+
+class TestBaselineStore:
+    def test_append_load_and_fold(self, tmp_path):
+        path = str(tmp_path / "BASE.json")
+        entry = perfdb.append_artifact(path, _bench_artifact(speedup=5.0),
+                                       label="first")
+        assert entry["label"] == "first"
+        assert entry["meta"]["hostname"] == "box"
+        perfdb.append_artifact(path, _bench_artifact(speedup=7.0))
+        store = perfdb.load_baseline(path)
+        assert len(store["entries"]) == 2
+        folded = perfdb.baseline_metrics(store)
+        # latest entry wins
+        assert folded["parallel_search/portfolio-anneal/speedup"].value == 7.0
+        assert folded["parallel_search/portfolio-anneal/speedup"].direction \
+            == "higher"
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            perfdb.load_baseline(str(path))
+
+
+class TestCheck:
+    def _metrics(self, artifact):
+        return perfdb.headline_metrics(artifact)
+
+    def test_unchanged_run_passes(self):
+        base = self._metrics(_bench_artifact())
+        result = perfdb.check_metrics(self._metrics(_bench_artifact()), base)
+        assert result.regressions == []
+        assert all(row.status == "ok" for row in result.rows)
+
+    def test_slowed_wall_time_and_lost_speedup_regress(self):
+        base = self._metrics(_bench_artifact(speedup=6.0, serial_s=1.0))
+        cur = self._metrics(_bench_artifact(speedup=2.0, serial_s=3.0))
+        result = perfdb.check_metrics(cur, base)
+        failing = {row.name for row in result.regressions}
+        assert "parallel_search/portfolio-anneal/speedup" in failing
+        assert "parallel_search/portfolio-anneal/serial_s" in failing
+
+    def test_direction_matters(self):
+        # A *faster* run never regresses, however large the change.
+        base = self._metrics(_bench_artifact(speedup=2.0, serial_s=9.0))
+        cur = self._metrics(_bench_artifact(speedup=20.0, serial_s=0.1))
+        assert perfdb.check_metrics(cur, base).regressions == []
+
+    def test_tolerance_override(self):
+        base = self._metrics(_bench_artifact(speedup=10.0))
+        cur = self._metrics(_bench_artifact(speedup=8.9))  # -11%
+        assert perfdb.check_metrics(cur, base).regressions == []
+        tight = perfdb.check_metrics(cur, base, tolerance=0.05)
+        assert any(row.name.endswith("/speedup")
+                   for row in tight.regressions)
+
+    def test_new_and_absent_are_not_violations(self):
+        base = self._metrics(_bench_artifact())
+        cur = self._metrics(_suite_artifact())
+        result = perfdb.check_metrics(cur, base)
+        statuses = {row.status for row in result.rows}
+        assert statuses == {"new", "absent"}
+        assert result.regressions == []
+
+    def test_render_is_deterministic(self):
+        base = self._metrics(_bench_artifact(speedup=6.0))
+        cur = self._metrics(_bench_artifact(speedup=1.0))
+        result = perfdb.check_metrics(cur, base)
+        one = perfdb.render_check(result)
+        two = perfdb.render_check(result)
+        assert one == two
+        assert "REGRESSED" in one and "bench check" in one
+
+
+class TestCLI:
+    def _write(self, path, artifact):
+        path.write_text(json.dumps(artifact))
+        return str(path)
+
+    def test_baseline_then_check_roundtrip(self, tmp_path):
+        art = self._write(tmp_path / "bench.json", _bench_artifact())
+        base = str(tmp_path / "BASE.json")
+        code, text = run_cli("bench", "baseline", art, "--baseline", base,
+                             "--label", "seed")
+        assert code == 0 and "recorded" in text
+
+        code, text = run_cli("bench", "check", art, "--baseline", base)
+        assert code == 0
+        assert "0 regressed" in text
+
+        slowed = self._write(tmp_path / "slow.json",
+                             _bench_artifact(speedup=1.5, serial_s=4.0))
+        code, text = run_cli("bench", "check", slowed, "--baseline", base)
+        assert code == 1
+        assert "REGRESSED" in text
+
+    def test_check_missing_baseline_fails_cleanly(self, tmp_path):
+        art = self._write(tmp_path / "bench.json", _bench_artifact())
+        with pytest.raises(SystemExit):
+            run_cli("bench", "check", art,
+                    "--baseline", str(tmp_path / "nope.json"))
+
+    def test_plain_bench_parser_still_works(self):
+        # The nested subcommands must not break flag-only `repro bench`.
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--subset", "quick",
+                                          "--jobs", "2"])
+        assert args.command == "bench"
+        assert args.bench_command is None
+        assert args.jobs == 2
+
+    def test_repo_baseline_is_loadable(self):
+        # The committed baseline must stay parseable and non-empty.
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "benchmarks", "BASELINE.json")
+        store = perfdb.load_baseline(path)
+        assert perfdb.baseline_metrics(store)

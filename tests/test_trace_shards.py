@@ -1,0 +1,318 @@
+"""Cross-process trace shards, the deterministic merge, chrome export.
+
+The tentpole contracts of the multi-process observability pipeline:
+
+* a forked worker writing through an inherited path-backed tracer lands
+  in its own ``<trace>.pid<N>.jsonl`` shard, never in the parent's
+  stream (and never duplicates the parent's buffered records);
+* the merge interleaves shards by ``(ts_ns, pid, emission order)`` —
+  identical merged bytes for any worker completion order;
+* a traced portfolio search with ``jobs>1`` yields a merged trace with
+  worker-side ``portfolio.anneal`` spans from *every* restart, while
+  the search artifact stays byte-identical to the untraced run and
+  across jobs values;
+* chrome export emits valid Chrome trace-event JSON.
+"""
+
+import io
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.bench.generators import ripple_carry_adder
+from repro.bench.runner import dumps_artifact, strip_timing
+from repro.incremental import search_circuit
+from repro.obs import trace
+from repro.obs.export import chrome_trace, export_chrome_file
+from repro.obs.shards import find_shards, merge_file, merge_records
+from repro.obs.summarize import RecordReader, summarize_file
+from repro.sim.stimulus import ScenarioA
+from repro.synth.mapper import map_circuit
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs the fork start method",
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+@pytest.fixture(scope="module")
+def setting():
+    circuit = map_circuit(ripple_carry_adder(3))
+    input_stats = ScenarioA(seed=0).input_stats(circuit.inputs)
+    return circuit, input_stats
+
+
+def _write_jsonl(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+
+def _child_emit(ready):
+    # Runs in a forked child: the inherited tracer must reroute to a
+    # shard on first use, and flush before the hard exit.
+    with trace.span("child.work", tag="fork"):
+        trace.instant("child.tick")
+    trace.flush()
+    ready.put(os.getpid())
+
+
+class TestShardFiles:
+    @fork_only
+    def test_forked_child_writes_shard_not_parent_stream(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        trace.enable(path)
+        with trace.span("parent.before"):
+            pass
+        ctx = multiprocessing.get_context("fork")
+        ready = ctx.Queue()
+        proc = ctx.Process(target=_child_emit, args=(ready,))
+        proc.start()
+        child_pid = ready.get(timeout=30)
+        proc.join(timeout=30)
+        with trace.span("parent.after"):
+            pass
+        trace.disable()
+
+        shards = find_shards(path)
+        assert shards == [trace.shard_path(path, child_pid)]
+        parent_records = list(RecordReader(path))
+        assert {r["pid"] for r in parent_records} == {os.getpid()}
+        assert [r["name"] for r in parent_records if r["ev"] == "B"] == \
+            ["parent.before", "parent.after"]
+        shard_records = list(RecordReader(shards[0]))
+        assert {r["pid"] for r in shard_records} == {child_pid}
+        assert [r["name"] for r in shard_records] == \
+            ["child.work", "child.tick", "child.work"]
+
+        merged = merge_file(path)
+        assert merged == 1
+        assert find_shards(path) == []  # consumed
+        names = [r["name"] for r in RecordReader(path)]
+        assert "child.work" in names and "parent.before" in names
+
+    def test_io_sink_child_stays_silent(self):
+        sink = io.StringIO()
+        tracer = trace.enable(sink)
+        tracer._pid += 1  # simulate a forked child: IO sinks can't shard
+        assert tracer.span("x") is trace.NULL_SPAN
+        tracer.instant("x")
+        trace.disable()
+        assert sink.getvalue() == ""
+
+    def test_enable_cleans_stale_shards(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        stale = trace.shard_path(path, 12345)
+        _write_jsonl(stale, [{"ev": "I", "name": "old", "ts_ns": 0,
+                              "depth": 0, "pid": 12345}])
+        trace.enable(path)
+        trace.disable()
+        assert not os.path.exists(stale)
+
+    def test_adopt_joins_parent_trace(self, tmp_path):
+        # A spawn-style worker: no inherited tracer, joins explicitly.
+        path = str(tmp_path / "t.jsonl")
+        _write_jsonl(path, [])
+        assert trace.ACTIVE is None
+        tracer = trace.adopt(path, t0_ns=0)
+        assert tracer is trace.ACTIVE
+        with trace.span("adopted.work"):
+            pass
+        trace.disable()
+        shard = trace.shard_path(path, os.getpid())
+        assert find_shards(path) == [shard]
+        records = list(RecordReader(shard))
+        assert [r["name"] for r in records] == ["adopted.work"] * 2
+        # adopt with a live tracer is a no-op returning the active one
+        live = trace.enable(io.StringIO())
+        assert trace.adopt(path, t0_ns=0) is live
+
+
+class TestMerge:
+    def _shard_set(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        main = [
+            {"ev": "B", "name": "parent", "ts_ns": 0, "depth": 0, "pid": 10},
+            {"ev": "E", "name": "parent", "ts_ns": 900, "depth": 0,
+             "dur_ns": 900, "pid": 10},
+        ]
+        worker_a = [
+            {"ev": "B", "name": "wa", "ts_ns": 100, "depth": 0, "pid": 20},
+            {"ev": "E", "name": "wa", "ts_ns": 300, "depth": 0,
+             "dur_ns": 200, "pid": 20},
+        ]
+        worker_b = [
+            # Same ts as worker_a's begin: the pid tie-break decides.
+            {"ev": "B", "name": "wb", "ts_ns": 100, "depth": 0, "pid": 30},
+            {"ev": "E", "name": "wb", "ts_ns": 200, "depth": 0,
+             "dur_ns": 100, "pid": 30},
+        ]
+        _write_jsonl(path, main)
+        _write_jsonl(trace.shard_path(path, 20), worker_a)
+        _write_jsonl(trace.shard_path(path, 30), worker_b)
+        return path, main, worker_a, worker_b
+
+    def test_merge_interleaves_by_ts_with_pid_tiebreak(self, tmp_path):
+        path, _, _, _ = self._shard_set(tmp_path)
+        assert merge_file(path) == 2
+        records = list(RecordReader(path))
+        assert [(r["name"], r["ev"]) for r in records] == [
+            ("parent", "B"), ("wa", "B"), ("wb", "B"), ("wb", "E"),
+            ("wa", "E"), ("parent", "E"),
+        ]
+        assert find_shards(path) == []
+
+    def test_merge_bytes_independent_of_stream_order(self, tmp_path):
+        _, main, worker_a, worker_b = self._shard_set(tmp_path)
+        orders = [
+            [main, worker_a, worker_b],
+            [worker_b, main, worker_a],
+            [worker_a, worker_b, main],
+        ]
+        outputs = {
+            json.dumps(merge_records(order), sort_keys=True)
+            for order in orders
+        }
+        assert len(outputs) == 1
+
+    def test_merge_to_out_keeps_shards(self, tmp_path):
+        path, _, _, _ = self._shard_set(tmp_path)
+        out = str(tmp_path / "merged.jsonl")
+        assert merge_file(path, out=out) == 2
+        assert len(find_shards(path)) == 2  # inputs untouched
+        assert len(list(RecordReader(out))) == 6
+        # main file untouched too
+        assert len(list(RecordReader(path))) == 2
+
+    def test_merge_without_shards_is_noop(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        _write_jsonl(path, [{"ev": "I", "name": "only", "ts_ns": 1,
+                             "depth": 0, "pid": 1}])
+        before = open(path).read()
+        assert merge_file(path) == 0
+        assert open(path).read() == before
+
+    def test_keep_shards(self, tmp_path):
+        path, _, _, _ = self._shard_set(tmp_path)
+        assert merge_file(path, keep_shards=True) == 2
+        assert len(find_shards(path)) == 2
+
+
+class TestPortfolioTrace:
+    @fork_only
+    def test_traced_portfolio_has_every_restart_span_and_identical_artifact(
+            self, setting, tmp_path):
+        circuit, input_stats = setting
+        kwargs = dict(strategy="anneal", seed=5, restarts=2,
+                      anneal_trials=10)
+        untraced = search_circuit(circuit, input_stats, jobs=1, **kwargs)
+        path = str(tmp_path / "t.jsonl")
+        trace.enable(path)
+        traced = search_circuit(circuit, input_stats, jobs=2, **kwargs)
+        trace.disable()
+        assert dumps_artifact(strip_timing(traced.to_artifact())) == \
+            dumps_artifact(strip_timing(untraced.to_artifact()))
+
+        assert merge_file(path) >= 1
+        seen = {}
+        pids = set()
+        for record in RecordReader(path):
+            pids.add(record.get("pid"))
+            if record.get("ev") == "B" and \
+                    record.get("name") == "portfolio.anneal":
+                seen[record["attrs"]["index"]] = record.get("pid")
+        assert set(seen) == {0, 1}  # a span from every restart
+        assert all(pid != os.getpid() for pid in seen.values())
+        assert os.getpid() in pids  # parent instants are there too
+        summary = summarize_file(path)
+        names = {entry.name for entry in summary.spans}
+        assert "portfolio.anneal" in names and "search.trial" in names
+        assert summary.unclosed == []
+
+
+class TestChromeExport:
+    def test_export_is_valid_chrome_json(self, setting, tmp_path):
+        circuit, input_stats = setting
+        path = str(tmp_path / "t.jsonl")
+        trace.enable(path)
+        search_circuit(circuit, input_stats, strategy="greedy")
+        trace.disable()
+        out = str(tmp_path / "t.chrome.json")
+        text = export_chrome_file(path, out=out)
+        doc = json.loads(text)
+        assert json.loads(open(out).read()) == doc
+        events = doc["traceEvents"]
+        assert events
+        assert all("ph" in e and "ts" in e and "pid" in e for e in events)
+        assert {e["ph"] for e in events} <= {"B", "E", "i", "C"}
+        begins = sum(1 for e in events if e["ph"] == "B")
+        ends = sum(1 for e in events if e["ph"] == "E")
+        assert begins == ends > 0
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and all(
+            isinstance(v, (int, float)) for c in counters
+            for v in c["args"].values()
+        )
+        # export twice -> identical bytes
+        assert export_chrome_file(path) == text
+
+    def test_event_mapping(self):
+        records = [
+            {"ev": "B", "name": "s", "ts_ns": 1500, "depth": 0, "pid": 7,
+             "attrs": {"k": 1}},
+            {"ev": "I", "name": "t", "ts_ns": 2000, "depth": 1, "pid": 7},
+            {"ev": "E", "name": "s", "ts_ns": 3000, "depth": 0,
+             "dur_ns": 1500, "pid": 7, "error": True},
+            {"ev": "M", "ts_ns": 4000, "pid": 7,
+             "metrics": {"n": 3, "skip": "text", "flag": True}},
+        ]
+        events = chrome_trace(records)["traceEvents"]
+        assert [e["ph"] for e in events] == ["B", "i", "E", "C"]
+        begin, instant, end, counter = events
+        assert begin["ts"] == 1.5 and begin["pid"] == begin["tid"] == 7
+        assert begin["args"] == {"k": 1}
+        assert instant["s"] == "t"
+        assert end["args"] == {"error": True}
+        assert counter["args"] == {"n": 3}  # text and bools dropped
+
+    def test_empty_trace_exports_empty_event_list(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        doc = json.loads(export_chrome_file(str(path)))
+        assert doc["traceEvents"] == []
+
+
+class TestEmptyAndDamagedTraces:
+    def test_empty_trace_file_summarizes(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summary = summarize_file(str(path))
+        assert summary.records == 0
+        assert summary.spans == []
+        assert summary.truncated_records == 0
+        from repro.obs.summarize import render_summary
+
+        assert "0 records" in render_summary(summary)
+
+    def test_truncated_multibyte_tail_does_not_raise(self, tmp_path):
+        # A worker killed mid-write can split a UTF-8 sequence; the
+        # reader must not raise UnicodeDecodeError.
+        path = tmp_path / "t.jsonl"
+        good = json.dumps({"ev": "I", "name": "ok", "ts_ns": 1,
+                           "depth": 0, "pid": 1}) + "\n"
+        cut = '{"ev":"I","name":"caf\xe9"'.encode("utf-8")[:-2]
+        path.write_bytes(good.encode("utf-8") + cut)
+        summary = summarize_file(str(path))
+        assert summary.records == 1
+        assert summary.instants == 1
+        assert summary.truncated_records == 1
