@@ -24,7 +24,6 @@ The ``repro bench`` CLI subcommand wraps :func:`run_suite`; the
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -118,6 +117,7 @@ def _row_dict(row, elapsed: float) -> Dict[str, object]:
     return {
         "circuit": row.name,
         "scenario": row.scenario,
+        "status": "ok",
         "gates": row.gates,
         "model_reduction": row.model_reduction,
         "sim_reduction": row.sim_reduction,
@@ -128,10 +128,21 @@ def _row_dict(row, elapsed: float) -> Dict[str, object]:
     }
 
 
+def _error_row(case_name: str, status: str,
+               error: Optional[str]) -> Dict[str, object]:
+    """The row a failed case contributes instead of aborting the sweep."""
+    return {
+        "circuit": case_name,
+        "status": status,
+        "error": error or "",
+    }
+
+
 def _run_case(work: Tuple[str, Tuple[str, ...], int]) -> List[Dict[str, object]]:
     """One work item: every scenario of one circuit, mapping reused."""
     from ..analysis.experiments import run_table3_case
     from ..obs import trace as _trace
+    from ..robust import faults as _faults
 
     case_name, scenarios, seed = work
     tracer = _trace.ACTIVE
@@ -139,6 +150,7 @@ def _run_case(work: Tuple[str, Tuple[str, ...], int]) -> List[Dict[str, object]]
             if tracer is not None else _trace.NULL_SPAN)
     try:
         with span:
+            _faults.fire("bench.case", match=case_name)
             circuit = _mapped_circuit(case_name)
             case = get_case(case_name)
             rows = []
@@ -152,14 +164,6 @@ def _run_case(work: Tuple[str, Tuple[str, ...], int]) -> List[Dict[str, object]]
         # Pool workers exit via os._exit: flush this pid's trace shard
         # before the result ships back.
         _trace.flush()
-
-
-def _run_case_indexed(
-    item: Tuple[int, Tuple[str, Tuple[str, ...], int]],
-) -> Tuple[int, List[Dict[str, object]]]:
-    """``imap_unordered`` wrapper: tag results with their work index."""
-    index, work = item
-    return index, _run_case(work)
 
 
 def _case_progress(case_name: str, done: int, total: int) -> None:
@@ -176,14 +180,27 @@ def run_suite(subset: Optional[str] = "quick",
               jobs: int = 1,
               seed: int = 0,
               cases: Optional[Sequence[str]] = None,
-              out_path: Optional[str] = None) -> Dict[str, object]:
+              out_path: Optional[str] = None,
+              case_timeout_s: Optional[float] = None,
+              retries: int = 2) -> Dict[str, object]:
     """Run the Table-3 sweep, optionally in parallel, and return the artifact.
 
     ``cases`` overrides ``subset`` with an explicit list of case names.
-    ``jobs > 1`` fans circuits out over a process pool; results are in
+    ``jobs > 1`` fans circuits out over supervised worker processes
+    (:func:`repro.robust.supervise.run_supervised`); results are in
     suite order and bit-identical to a ``jobs=1`` run.  When
     ``out_path`` is given the canonical JSON artifact is also written
-    there.
+    there (atomically — a kill mid-write never leaves a torn file).
+
+    A case that raises, crashes its worker or outlives ``case_timeout_s``
+    no longer aborts the sweep: after ``retries`` additional attempts it
+    contributes a single ``{"status": "error"|"crashed"|"timeout"}`` row
+    carrying the failure text, and every other case still reports.
+    Success rows carry ``status: "ok"``.  ``case_timeout_s`` needs a
+    worker process to enforce, so setting it routes even ``jobs=1`` runs
+    through the supervisor.  ``KeyboardInterrupt``/SIGTERM stops the
+    sweep, keeps the completed rows and flags the artifact
+    ``partial: true`` instead of raising.
     """
     if cases is not None:
         names = [get_case(name).name for name in cases]
@@ -199,28 +216,53 @@ def run_suite(subset: Optional[str] = "quick",
         raise ValueError("jobs must be at least 1")
 
     work = [(name, scenarios, seed) for name in names]
+    grouped: List[Optional[List[Dict[str, object]]]] = [None] * len(work)
+    interrupted = False
     start = time.perf_counter()
-    if jobs == 1 or len(work) <= 1:
-        grouped = []
-        for index, item in enumerate(work):
-            grouped.append(_run_case(item))
-            _case_progress(item[0], index + 1, len(work))
-    else:
-        grouped = [None] * len(work)
+    if case_timeout_s is None and (jobs == 1 or len(work) <= 1):
         done = 0
-        with multiprocessing.get_context().Pool(processes=min(jobs, len(work))) as pool:
-            # chunksize=1: circuit costs vary by orders of magnitude, so
-            # letting map() weld consecutive items into chunks can leave
-            # one worker serialising the two largest circuits.  Results
-            # stream back as they finish (feeding --progress) and are
-            # reassembled in suite order, keeping the artifact
-            # bit-identical to a jobs=1 run.
-            for index, rows in pool.imap_unordered(_run_case_indexed,
-                                                   list(enumerate(work)),
-                                                   chunksize=1):
+        try:
+            for index, item in enumerate(work):
+                attempt = 1
+                while True:
+                    try:
+                        rows = _run_case(item)
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as error:
+                        if attempt <= retries:
+                            attempt += 1
+                            continue
+                        rows = [_error_row(
+                            item[0], "error",
+                            f"{type(error).__name__}: {error}",
+                        )]
+                    break
                 grouped[index] = rows
                 done += 1
-                _case_progress(work[index][0], done, len(work))
+                _case_progress(item[0], done, len(work))
+        except KeyboardInterrupt:
+            interrupted = True
+    else:
+        from ..robust.supervise import run_supervised
+
+        def on_complete(outcome, done, total) -> None:
+            if outcome.ok:
+                grouped[outcome.index] = outcome.value
+            _case_progress(work[outcome.index][0], done, total)
+
+        run = run_supervised(
+            _run_case, work, min(jobs, len(work)),
+            retries=retries, deadline_s=case_timeout_s,
+            on_complete=on_complete, label="bench.case",
+        )
+        interrupted = run.interrupted
+        for outcome in run.failed:
+            if interrupted and outcome.status == "interrupted":
+                continue
+            grouped[outcome.index] = [_error_row(
+                work[outcome.index][0], outcome.status, outcome.error,
+            )]
     elapsed = time.perf_counter() - start
 
     artifact: Dict[str, object] = {
@@ -234,8 +276,11 @@ def run_suite(subset: Optional[str] = "quick",
         "jobs": jobs,
         "elapsed_s": elapsed,
         "meta": environment_meta(),
-        "results": [row for rows in grouped for row in rows],
+        "results": [row for rows in grouped if rows is not None
+                    for row in rows],
     }
+    if interrupted:
+        artifact["partial"] = True
     if out_path:
         write_artifact(artifact, out_path)
     return artifact
@@ -251,10 +296,10 @@ def dumps_artifact(artifact: Mapping[str, object]) -> str:
 
 
 def write_artifact(artifact: Mapping[str, object], path: str) -> None:
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as handle:
-        handle.write(dumps_artifact(artifact))
+    """Write canonical JSON atomically — no torn artifacts on a crash."""
+    from ..robust.atomic import atomic_write_text
+
+    atomic_write_text(path, dumps_artifact(artifact))
 
 
 def load_artifact(path: str) -> Dict[str, object]:

@@ -61,6 +61,14 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}")
+    return value
+
+
 def _add_obs_args(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--trace", metavar="PATH",
@@ -107,6 +115,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the JSON result artifact here")
     pb.add_argument("--cases", nargs="+", metavar="NAME",
                     help="explicit case names (overrides --subset)")
+    pb.add_argument("--case-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-case wall-time budget; a case that "
+                         "exceeds it is killed, retried, and finally "
+                         "recorded as a status=timeout row (routes the "
+                         "run through supervised workers)")
+    pb.add_argument("--retries", type=_nonnegative_int, default=2,
+                    metavar="N",
+                    help="extra attempts for a case that raises, "
+                         "crashes its worker or times out before its "
+                         "error row is recorded (default 2)")
     _add_obs_args(pb)
     # Optional nested subcommands: plain `repro bench [flags]` still
     # runs the sweep (bench_command stays None).
@@ -264,6 +283,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the canonical JSON search artifact here")
     ps.add_argument("--save-blif", metavar="PATH",
                     help="write the searched netlist as mapped BLIF")
+    ps.add_argument("--checkpoint", metavar="PATH",
+                    help="periodically snapshot the search state here "
+                         "(atomic, checksummed); resume a killed run "
+                         "with --resume PATH for a byte-identical "
+                         "artifact")
+    ps.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                    metavar="N",
+                    help="accepted moves between checkpoint snapshots "
+                         "(default 32; needs --checkpoint)")
+    ps.add_argument("--resume", metavar="PATH",
+                    help="resume from a checkpoint written by "
+                         "--checkpoint (the run must use the same "
+                         "circuit, stats and search parameters)")
+    ps.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-restart wall-time budget for portfolio "
+                         "workers; a restart that exceeds it is killed "
+                         "and retried (requires --restarts/--jobs)")
+    ps.add_argument("--retries", type=_nonnegative_int, default=2,
+                    metavar="N",
+                    help="extra attempts for a portfolio restart whose "
+                         "worker crashes, raises or times out before "
+                         "it is recorded as failed (default 2)")
     _add_obs_args(ps)
 
     pt = sub.add_parser(
@@ -374,15 +416,22 @@ def _cmd_table3(out, subset: str, scenario: str, seed: int) -> int:
 
 
 def _cmd_bench(out, subset: str, scenario: str, jobs: int, seed: int,
-               out_path: Optional[str], cases: Optional[List[str]]) -> int:
+               out_path: Optional[str], cases: Optional[List[str]],
+               case_timeout: Optional[float] = None,
+               retries: int = 2) -> int:
     from .bench.runner import run_suite
 
     scenarios = ("A", "B") if scenario == "both" else (scenario,)
     artifact = run_suite(subset=subset, scenarios=scenarios, jobs=jobs,
-                         seed=seed, cases=cases, out_path=out_path)
+                         seed=seed, cases=cases, out_path=out_path,
+                         case_timeout_s=case_timeout, retries=retries)
     rows = artifact["results"]
+    failed = [r for r in rows if r["status"] != "ok"]
     for sc in scenarios:
-        sc_rows = [r for r in rows if r["scenario"] == sc]
+        sc_rows = [r for r in rows
+                   if r["status"] == "ok" and r["scenario"] == sc]
+        if not sc_rows:
+            continue
         _write_scenario_table(
             out,
             f"bench - scenario {sc} ({artifact['suite']['subset']}, jobs={jobs})",
@@ -390,11 +439,18 @@ def _cmd_bench(out, subset: str, scenario: str, jobs: int, seed: int,
               r["sim_reduction"], r["delay_increase"]) for r in sc_rows],
             extra=("t", [f"{r['elapsed_s']:.2f}s" for r in sc_rows]),
         )
+    for row in failed:
+        first_line = (row["error"] or "").strip().splitlines()
+        out.write(f"[{row['status']}] {row['circuit']}: "
+                  f"{first_line[-1] if first_line else ''}\n")
     out.write(f"{len(rows)} rows in {artifact['elapsed_s']:.2f}s "
               f"with {jobs} job(s)\n")
+    if artifact.get("partial"):
+        out.write("[partial] sweep interrupted; artifact carries the "
+                  "completed cases and is flagged \"partial\": true\n")
     if out_path:
         out.write(f"wrote JSON artifact to {out_path}\n")
-    return 0
+    return 130 if artifact.get("partial") else 0
 
 
 def _cmd_adder(out, width: int) -> int:
@@ -622,22 +678,44 @@ def _cmd_search(out, args) -> int:
         if given:
             raise SystemExit(f"{', '.join(given)} requires --backend sampled")
 
+    robust_kwargs = {}
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint")
+    if args.deadline is not None and not portfolio_kwargs:
+        raise SystemExit("--deadline requires --restarts/--jobs")
+    if args.checkpoint is not None:
+        robust_kwargs["checkpoint_path"] = args.checkpoint
+        if args.checkpoint_every is not None:
+            robust_kwargs["checkpoint_every"] = args.checkpoint_every
+    if args.resume is not None:
+        robust_kwargs["resume_path"] = args.resume
+    if args.deadline is not None:
+        robust_kwargs["deadline_s"] = args.deadline
+    if portfolio_kwargs:
+        robust_kwargs["worker_retries"] = args.retries
+
     network = load_blif(args.blif)
     circuit = map_circuit(network)
     generator = (ScenarioA(seed=args.seed) if args.scenario == "A"
                  else ScenarioB(seed=args.seed))
     stats = generator.input_stats(circuit.inputs)
-    result = run_search(
-        circuit, stats,
-        strategy=args.strategy, objective=args.objective,
-        delay_weight=args.delay_weight, backend=args.backend,
-        seed=args.seed, retemplate=args.retemplate,
-        max_trials=args.max_trials, max_moves=args.max_moves,
-        anneal_trials=args.anneal_trials, polish=args.polish,
-        structural=args.structural, structural_nets=args.structural_nets,
-        **portfolio_kwargs,
-        **backend_kwargs,
-    )
+    from .robust import CheckpointError
+
+    try:
+        result = run_search(
+            circuit, stats,
+            strategy=args.strategy, objective=args.objective,
+            delay_weight=args.delay_weight, backend=args.backend,
+            seed=args.seed, retemplate=args.retemplate,
+            max_trials=args.max_trials, max_moves=args.max_moves,
+            anneal_trials=args.anneal_trials, polish=args.polish,
+            structural=args.structural, structural_nets=args.structural_nets,
+            **portfolio_kwargs,
+            **backend_kwargs,
+            **robust_kwargs,
+        )
+    except CheckpointError as error:
+        raise SystemExit(f"search: {error}")
 
     table = [
         (move.index, move.label, move.cone,
@@ -674,6 +752,11 @@ def _cmd_search(out, args) -> int:
               + (f" vs {result.trials * len(circuit)} for a full STA per trial"
                  if result.objective.needs_delay else " (delay co-metric)")
               + "\n")
+    if result.partial:
+        detail = ("interrupted" if result.interrupted
+                  else f"{len(result.failures or [])} restart(s) failed")
+        out.write(f"[partial] {detail}; artifact carries the best state "
+                  "reached and is flagged \"partial\": true\n")
     if args.out:
         write_artifact(result.to_artifact({"scenario": args.scenario}), args.out)
         out.write(f"wrote JSON artifact to {args.out}\n")
@@ -681,7 +764,7 @@ def _cmd_search(out, args) -> int:
         with open(args.save_blif, "w") as handle:
             handle.write(write_mapped_blif(result.circuit))
         out.write(f"wrote mapped BLIF to {args.save_blif}\n")
-    return 0
+    return 130 if result.interrupted else 0
 
 
 def _cmd_trace_summarize(out, path: str, top: int) -> int:
@@ -791,7 +874,8 @@ def _dispatch(args, out) -> int:
             return _cmd_bench_baseline(out, args.artifacts, args.baseline,
                                        args.label)
         return _cmd_bench(out, args.subset, args.scenario, args.jobs,
-                          args.seed, args.out, args.cases)
+                          args.seed, args.out, args.cases,
+                          args.case_timeout, args.retries)
     if args.command == "adder":
         return _cmd_adder(out, args.width)
     if args.command == "optimize":
@@ -814,6 +898,24 @@ def _dispatch(args, out) -> int:
     raise AssertionError("unreachable")
 
 
+def _install_sigterm_handler():
+    """Route SIGTERM through KeyboardInterrupt so a terminated run
+    unwinds like Ctrl-C: the search/bench loops keep their best-so-far
+    state, artifacts land flagged ``partial``, trace shards merge, and
+    the process exits 130 with no traceback.  Returns the previous
+    handler (``None`` when SIGTERM can't be hooked — non-main thread,
+    restricted platform)."""
+    import signal
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        return signal.signal(signal.SIGTERM, handler)
+    except (ValueError, OSError):  # non-main thread / no SIGTERM
+        return None
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -821,6 +923,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     from .obs import progress as _progress
     from .obs import trace as _trace
 
+    _install_sigterm_handler()
     # --trace (search/eco/optimize/bench) wins over REPRO_TRACE; the
     # environment flag alone enables tracing for any subcommand.
     tracer = _trace.start(getattr(args, "trace", None))
@@ -830,6 +933,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         _progress.enable()
     try:
         return _dispatch(args, out)
+    except KeyboardInterrupt:
+        # An interrupt outside the anytime loops (during mapping, say):
+        # exit 130 cleanly; the finally block still merges trace shards.
+        sys.stderr.write("interrupted\n")
+        return 130
     finally:
         if progress_on:
             _progress.disable()

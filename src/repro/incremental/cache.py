@@ -27,17 +27,25 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+import warnings
+
 from ..circuit.netlist import Circuit, CircuitError, StructureEvent
 from ..core.optimizer import CircuitPowerReport
 from ..core.power_model import GatePowerModel, GatePowerReport
 from ..gates.capacitance import net_load
 from ..obs import trace as _trace
+from ..obs.metrics import REGISTRY as _GLOBAL_METRICS
 from ..obs.metrics import MetricsRegistry
+from ..robust import faults as _faults
 from ..stochastic.signal import SignalStats
 from ..timing.sta import DEFAULT_PO_LOAD, timing_context
 from .backends import make_backend
 
 __all__ = ["StatsCache"]
+
+#: Compiled-kernel failures absorbed by the object-path fallback
+#: (process-wide — the graceful-degradation signal CI watches).
+_FALLBACKS = _GLOBAL_METRICS.counter("robust.fallback")
 
 
 class StatsCache:
@@ -277,11 +285,34 @@ class StatsCache:
                 if tracer is not None else _trace.NULL_SPAN)
         with span:
             if self._compiled_power:
-                self._power.update(
-                    self.power_kernel().reports(names, self._stats,
-                                                self.po_load)
-                )
-            else:
+                try:
+                    _faults.fire("kernel.power")
+                    reports = self.power_kernel().reports(
+                        names, self._stats, self.po_load)
+                except Exception as error:
+                    # Graceful degradation: the compiled kernel produces
+                    # bit-identical floats to the object path, so a
+                    # kernel failure costs speed, never correctness.
+                    # Latch the fallback once per cache and keep going —
+                    # unless strict mode (REPRO_ROBUST_STRICT) demands
+                    # the failure surface (CI's kernel-health setting).
+                    if _faults.strict_mode():
+                        raise
+                    self._compiled_power = False
+                    self._power_kernel_obj = None
+                    _FALLBACKS.inc()
+                    if tracer is not None:
+                        span.note(route="fallback")
+                    warnings.warn(
+                        "compiled power kernel failed "
+                        f"({type(error).__name__}: {error}); falling back "
+                        "to the object-model path for this cache",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                else:
+                    self._power.update(reports)
+            if not self._compiled_power:
                 for name in names:
                     gate = self.circuit.gate(name)
                     pin_stats = {

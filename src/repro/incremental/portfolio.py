@@ -38,16 +38,17 @@ back into one timeline — none of which touches result artifacts.
 
 from __future__ import annotations
 
-import multiprocessing
 import zlib
-from dataclasses import asdict
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..robust import faults as _faults
 from ..stochastic.signal import SignalStats
 
 __all__ = [
     "DEFAULT_RESTARTS",
+    "PortfolioRun",
     "restart_seed",
     "circuit_spec",
     "circuit_from_spec",
@@ -176,6 +177,10 @@ def _run_restart(payload: Mapping[str, object]) -> Dict[str, object]:
 def _run_restart_body(payload: Mapping[str, object]) -> Dict[str, object]:
     from .search import search_circuit
 
+    # Fault-injection site: kill-restart=K / crash-restart=K /
+    # sleep-restart=K:SECS target the worker running restart K (one
+    # env read when nothing is armed).
+    _faults.fire("portfolio.restart", match=payload["index"])
     circuit = circuit_from_spec(payload["spec"])
     input_stats = {
         net: SignalStats(probability, density)
@@ -226,24 +231,55 @@ def _restart_progress(outcome: Mapping[str, object],
                   accepted=outcome["accepted_count"])
 
 
+@dataclass
+class PortfolioRun:
+    """What a supervised restart fan-out produced.
+
+    ``outcomes`` is in restart order; a ``None`` entry is a restart
+    that never completed (crashed/timed out past its retry budget, or
+    interrupted).  Those entries are described in ``failures``.
+    """
+
+    outcomes: List[Optional[Dict[str, object]]]
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    interrupted: bool = False
+
+
 def run_restarts(circuit: Circuit,
                  input_stats: Mapping[str, SignalStats],
                  seed: int,
                  restarts: int,
                  jobs: int,
-                 params: Mapping[str, object]) -> List[Dict[str, object]]:
+                 params: Mapping[str, object],
+                 *,
+                 cached: Optional[Mapping[int, Dict[str, object]]] = None,
+                 on_outcome: Optional[Callable[[Dict[int, Dict[str, object]]],
+                                               None]] = None,
+                 deadline_s: Optional[float] = None,
+                 retries: int = 2) -> PortfolioRun:
     """Run ``restarts`` seeded annealing restarts, ``jobs`` at a time.
 
-    Returns the per-restart outcome dicts in restart order.  ``jobs=1``
-    runs inline (no pool, no pickling of numpy state); higher values
-    fan out over a process pool with ``chunksize=1`` — restart costs
-    vary, so welding them into chunks would serialise the slow ones.
-    Results are consumed as they complete (``imap_unordered``, feeding
-    the live progress channel) and reassembled by restart index, so the
-    returned list — and everything derived from it — is independent of
-    completion order.
+    Returns a :class:`PortfolioRun` with the per-restart outcome dicts
+    in restart order.  ``jobs=1`` (without a ``deadline_s``) runs
+    inline — no pool, no pickling of numpy state — retrying an
+    in-process exception up to ``retries`` times; higher values fan
+    out through :func:`repro.robust.supervise.run_supervised`: one
+    process per restart, crash/hang detection, bounded retries with
+    backoff and a per-attempt ``deadline_s`` wall-time budget.  Either
+    way a restart is a pure function of its payload, so retry counts
+    and scheduling never change results — the artifact stays
+    byte-identical across ``jobs`` settings.
+
+    ``cached`` pre-fills completed outcomes by restart index (the
+    checkpoint/resume path — only the missing restarts run), and
+    ``on_outcome`` fires in the parent with the accumulated
+    ``{index: outcome}`` map after each completion (the checkpoint
+    hook).  ``KeyboardInterrupt``/SIGTERM stops the fan-out and
+    returns whatever completed with ``interrupted=True`` — the
+    caller's anytime path — instead of raising.
     """
     from ..obs import trace as _trace
+    from ..robust.supervise import run_supervised
 
     tracer = _trace.ACTIVE
     trace_ref = ((tracer.path, tracer._t0)
@@ -253,6 +289,7 @@ def run_restarts(circuit: Circuit,
         (net, input_stats[net].probability, input_stats[net].density)
         for net in circuit.inputs
     ]
+    results: Dict[int, Dict[str, object]] = dict(cached or {})
     payloads = [
         {
             "spec": spec,
@@ -263,21 +300,67 @@ def run_restarts(circuit: Circuit,
             "trace": trace_ref,
         }
         for index in range(restarts)
+        if index not in results
     ]
-    if jobs == 1 or restarts == 1:
-        outcomes = []
-        for done, payload in enumerate(payloads, start=1):
-            outcome = _run_restart(payload)
-            outcomes.append(outcome)
-            _restart_progress(outcome, done, restarts)
-        return outcomes
-    ordered: List[Optional[Dict[str, object]]] = [None] * restarts
-    with multiprocessing.get_context().Pool(
-            processes=min(jobs, restarts)) as pool:
-        done = 0
-        for outcome in pool.imap_unordered(_run_restart, payloads,
-                                           chunksize=1):
-            done += 1
-            ordered[outcome["index"]] = outcome
-            _restart_progress(outcome, done, restarts)
-    return ordered
+    failures: List[Dict[str, object]] = []
+    interrupted = False
+
+    def record(index: int, outcome: Dict[str, object]) -> None:
+        results[index] = outcome
+        if on_outcome is not None:
+            on_outcome(results)
+        _restart_progress(outcome, len(results), restarts)
+
+    if not payloads:
+        pass
+    elif (jobs == 1 or len(payloads) == 1) and deadline_s is None:
+        try:
+            for payload in payloads:
+                attempt = 1
+                while True:
+                    try:
+                        outcome = _run_restart(payload)
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as error:
+                        if attempt <= retries:
+                            attempt += 1
+                            continue
+                        failures.append({
+                            "index": payload["index"],
+                            "status": "error",
+                            "error": f"{type(error).__name__}: {error}",
+                        })
+                        break
+                    record(payload["index"], outcome)
+                    break
+        except KeyboardInterrupt:
+            interrupted = True
+    else:
+        def on_complete(task, done, total) -> None:
+            if task.ok:
+                record(payloads[task.index]["index"], task.value)
+
+        run = run_supervised(
+            _run_restart, payloads, min(jobs, len(payloads)),
+            retries=retries, deadline_s=deadline_s,
+            on_complete=on_complete, label="portfolio.restart",
+        )
+        interrupted = run.interrupted
+        for task in run.failed:
+            failures.append({
+                "index": payloads[task.index]["index"],
+                "status": task.status,
+                "error": task.error,
+            })
+
+    ordered = [results.get(index) for index in range(restarts)]
+    if interrupted:
+        # Tasks the supervisor never resolved are failures only if the
+        # run wasn't interrupted; under an interrupt they are simply
+        # "not done yet" and stay out of the failure list.
+        failures = [entry for entry in failures
+                    if entry["status"] != "interrupted"]
+    failures.sort(key=lambda entry: entry["index"])
+    return PortfolioRun(outcomes=ordered, failures=failures,
+                        interrupted=interrupted)

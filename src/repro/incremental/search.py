@@ -72,9 +72,11 @@ reads delay per *accepted* move, now cone-sized too.
 
 from __future__ import annotations
 
+import json
 import math
 import time
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -94,6 +96,13 @@ from ..gates.capacitance import pin_terminal_counts
 from ..obs import progress as _progress
 from ..obs import trace as _trace
 from ..obs.metrics import REGISTRY as _GLOBAL_METRICS
+from ..robust import faults as _faults
+from ..robust.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from ..sim.bitsim import stream_rng
 from ..stochastic.signal import SignalStats
 from ..timing.sta import DEFAULT_PO_LOAD
@@ -123,6 +132,10 @@ STRUCTURAL_FAMILIES = ("buffer", "dup", "sweep")
 #: Structural moves accepted across all searches of the process
 #: (:mod:`repro.obs.metrics` global registry; snapshotted into traces).
 _MOVES_STRUCTURAL = _GLOBAL_METRICS.counter("search.moves_structural")
+
+#: Checkpoints written / runs resumed across the process (robust layer).
+_CHECKPOINTS_SAVED = _GLOBAL_METRICS.counter("robust.checkpoints")
+_RESUMES = _GLOBAL_METRICS.counter("robust.resumes")
 
 #: Accept only strictly improving greedy moves beyond this score margin
 #: (scores are baseline-normalised, so this is a relative threshold);
@@ -419,6 +432,22 @@ class SearchResult:
     descriptor like ``elapsed_s``, not a result: stripped from golden
     artifact comparisons by :func:`repro.bench.runner.strip_timing`."""
 
+    partial: bool = False
+    """The search was interrupted (SIGTERM/Ctrl-C) or lost restarts it
+    could not recover; the result is the best state reached, not the
+    full run.  Partial artifacts carry ``"partial": true`` — complete
+    runs omit the key entirely, so their bytes are unchanged."""
+
+    failures: Optional[List[Dict[str, object]]] = None
+    """Portfolio restarts that did not complete (after supervision
+    retries), as ``{"index", "status", "error"}`` rows; ``None`` when
+    everything ran."""
+
+    interrupted: bool = False
+    """The run stopped on SIGTERM/Ctrl-C specifically (a subset of
+    ``partial``); the CLI exits 130 for these.  Not serialised —
+    ``partial`` is the artifact-level signal."""
+
     @property
     def reduction(self) -> float:
         if self.power_before <= 0.0:
@@ -508,6 +537,12 @@ class SearchResult:
                 "jobs": self.jobs,
                 "restarts": [dict(entry) for entry in self.restarts],
             }
+            if self.failures:
+                artifact["portfolio"]["failed"] = [
+                    dict(entry) for entry in self.failures
+                ]
+        if self.partial:
+            artifact["partial"] = True
         return artifact
 
 
@@ -750,6 +785,118 @@ class _BatchPricer:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint/resume (repro.robust)
+# ----------------------------------------------------------------------
+def _search_fingerprint(circuit: Circuit,
+                        input_stats: Mapping[str, SignalStats],
+                        params: Mapping[str, object]) -> int:
+    """CRC of everything a checkpoint must agree with to be resumable.
+
+    Covers the circuit (via :func:`~repro.incremental.portfolio.circuit_spec`
+    — structure, templates, configurations, gate order), the input
+    statistics and the search parameters, so a checkpoint from a
+    different circuit, stimulus or parameterisation is rejected up
+    front instead of resuming into silent divergence.  ``jobs`` and
+    ``compiled`` are deliberately excluded: both are guaranteed not to
+    change results, so resuming across them is legal.
+    """
+    from .portfolio import circuit_spec
+
+    body = {
+        "spec": circuit_spec(circuit),
+        "input_stats": [
+            (net, input_stats[net].probability, input_stats[net].density)
+            for net in circuit.inputs
+        ],
+        "params": dict(params),
+    }
+    return zlib.crc32(
+        json.dumps(body, sort_keys=True, default=str).encode("utf-8")
+    )
+
+
+class _Checkpointer:
+    """Periodic search-state snapshots, taken only at accept boundaries.
+
+    :meth:`maybe_save` is called immediately after
+    :meth:`_Search.accept` returns — the one point where both caches
+    are guaranteed fully flushed (``accept`` ends with a
+    ``total_power()`` + ``delay()`` read, which settles every pending
+    dirty cone, rejected-trial leftovers included) — so a snapshot
+    never needs to capture dirty-set state and a resumed run replays
+    onto byte-identical cache contents.  Counter fields are stored
+    search-relative (offsets supplied by the caller), which is what
+    makes the resumed artifact's ``gates_repropagated``/``gates_retimed``
+    equal the uninterrupted run's.
+    """
+
+    def __init__(self, path: str, every: int, state: "_Search",
+                 timing: TimingCache, fingerprint: int,
+                 repropagated_before: int, retimed_before: int):
+        self.path = path
+        self.every = max(1, int(every))
+        self.state = state
+        self.timing = timing
+        self.fingerprint = fingerprint
+        self.repropagated_before = repropagated_before
+        self.retimed_before = retimed_before
+        #: Rounds contributed by phases that already completed (the
+        #: annealing step count once polish starts).
+        self.rounds_prior = 0
+        self._last_count = len(state.accepted)
+
+    def payload(self, phase: str,
+                phase_state: Dict[str, object]) -> Dict[str, object]:
+        state = self.state
+        return {
+            "kind": "search",
+            "fingerprint": self.fingerprint,
+            "phase": phase,
+            "phase_state": phase_state,
+            "rounds_prior": self.rounds_prior,
+            "accepted": [asdict(move) for move in state.accepted],
+            "trials": state.trials,
+            "fresh": state._fresh,
+            "power": state.power,
+            "delay": state.delay,
+            "power0": state.power0,
+            "delay0": state.delay0,
+            "budget_exhausted": state.budget_exhausted,
+            "gates_repropagated": (state.cache.gates_repropagated
+                                   - self.repropagated_before),
+            "gates_retimed": (self.timing.gates_retimed
+                              - self.retimed_before),
+        }
+
+    def maybe_save(self, phase: str, phase_state_fn) -> None:
+        """Snapshot if ``every`` accepts landed since the last snapshot."""
+        if len(self.state.accepted) - self._last_count < self.every:
+            return
+        self.save(phase, phase_state_fn())
+
+    def save(self, phase: str, phase_state: Dict[str, object]) -> None:
+        tracer = _trace.ACTIVE
+        span = (tracer.span("robust.checkpoint.save", phase=phase,
+                            accepted=len(self.state.accepted))
+                if tracer is not None else _trace.NULL_SPAN)
+        with span:
+            save_checkpoint(self.path, self.payload(phase, phase_state))
+        _CHECKPOINTS_SAVED.inc()
+        self._last_count = len(self.state.accepted)
+
+
+def _rng_state(rng: np.random.Generator) -> Dict[str, object]:
+    """The generator's bit-generator state as JSON-safe plain data."""
+    return rng.bit_generator.state
+
+
+def _restore_rng(rng: np.random.Generator, state: Mapping[str, object]) -> None:
+    """Restore a :func:`_rng_state` snapshot (exact: PCG64 state is
+    integer-valued, and JSON round-trips Python ints losslessly)."""
+    rng.bit_generator.state = dict(state)
+
+
+# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class _Search:
@@ -774,6 +921,9 @@ class _Search:
         self._fresh = 0
         self.accepted: List[AcceptedMove] = []
         self.budget_exhausted = False
+        #: Set when a phase caught SIGTERM/Ctrl-C: the caller returns a
+        #: best-so-far result flagged ``partial`` instead of raising.
+        self.interrupted = False
         self.power = cache.total_power()
         self.delay = timing.delay()
         self.power0 = self.power
@@ -957,112 +1107,176 @@ class _Search:
                 return name
 
 
-def _greedy(state: _Search, max_rounds: Optional[int]) -> int:
-    """Steepest descent to a fixed point; returns rounds run."""
+def _greedy(state: _Search, max_rounds: Optional[int],
+            checkpointer: Optional[_Checkpointer] = None,
+            phase: str = "greedy",
+            resume: Optional[Mapping[str, object]] = None) -> int:
+    """Steepest descent to a fixed point; returns rounds run.
+
+    ``resume`` restarts the descent mid-round from a checkpoint's phase
+    state — the remaining queue (already in this round's order) plus
+    the accumulated next-round worklist — without re-counting the
+    current round.  Checkpoints are taken only right after an accept
+    (the flushed safe point); SIGTERM/Ctrl-C sets ``state.interrupted``
+    and returns the rounds finished so far instead of raising.
+    """
     topo_index = state.cache.topo_index
-    worklist = {name for name in topo_index if state.movable(name)}
-    rounds = 0
-    while worklist and not state.out_of_budget():
-        if max_rounds is not None and rounds >= max_rounds:
-            state.budget_exhausted = True
-            break
-        rounds += 1
-        queue = sorted(worklist, key=topo_index.__getitem__)
-        worklist = set()
-        tracer = _trace.ACTIVE
-        span = (tracer.span("search.round", round=rounds, queue=len(queue))
-                if tracer is not None else _trace.NULL_SPAN)
-        with span:
-            accepted_before = len(state.accepted)
-            for name in queue:
-                if state.out_of_budget():
+    if resume is not None:
+        rounds = int(resume["rounds"])
+        queue = list(resume["queue"])
+        worklist = set(resume["worklist"])
+    else:
+        rounds = 0
+        queue = []
+        worklist = {name for name in topo_index if state.movable(name)}
+    try:
+        while queue or (worklist and not state.out_of_budget()):
+            if not queue:
+                if max_rounds is not None and rounds >= max_rounds:
+                    state.budget_exhausted = True
                     break
-                moves = enumerate_moves(state.circuit, name, state.retemplate,
-                                        state.groups)
-                best: Optional[Tuple[float, Move]] = None
-                # Reorder candidates share the gate's template and batch
-                # in one WhatIf; retemplate candidates batch in a second
-                # one (a reorder of the old template cannot legally
-                # follow a swap inside the same trial).
-                for kind in ("reorder", "retemplate"):
-                    batch = [m for m in moves if m.kind == kind]
-                    if not batch:
-                        continue
-                    for move, (score, _, _) in zip(batch,
-                                                   state.score_batch(batch)):
-                        delta = score - state.score
-                        if delta < -_TOL and (best is None or score < best[0]):
-                            best = (score, move)
-                if best is not None:
-                    state.accept(best[1])
-                    worklist.update(
-                        g for g in state.touched_gates(best[1])
-                        if state.movable(g)
-                    )
-            if tracer is not None:
-                span.note(accepted=len(state.accepted) - accepted_before)
-        sink = _progress.ACTIVE
-        if sink is not None:
-            sink.emit("search.round", round=rounds, queue=len(queue),
-                      accepted=len(state.accepted), trials=state.trials,
-                      score=state.score)
+                rounds += 1
+                queue = sorted(worklist, key=topo_index.__getitem__)
+                worklist = set()
+            queue_size = len(queue)
+            tracer = _trace.ACTIVE
+            span = (tracer.span("search.round", round=rounds, queue=queue_size)
+                    if tracer is not None else _trace.NULL_SPAN)
+            with span:
+                accepted_before = len(state.accepted)
+                while queue:
+                    if state.out_of_budget():
+                        queue = []
+                        break
+                    _faults.fire("search.step", match=len(state.accepted))
+                    name = queue.pop(0)
+                    moves = enumerate_moves(state.circuit, name,
+                                            state.retemplate, state.groups)
+                    best: Optional[Tuple[float, Move]] = None
+                    # Reorder candidates share the gate's template and
+                    # batch in one WhatIf; retemplate candidates batch
+                    # in a second one (a reorder of the old template
+                    # cannot legally follow a swap inside the same
+                    # trial).
+                    for kind in ("reorder", "retemplate"):
+                        batch = [m for m in moves if m.kind == kind]
+                        if not batch:
+                            continue
+                        for move, (score, _, _) in zip(
+                                batch, state.score_batch(batch)):
+                            delta = score - state.score
+                            if delta < -_TOL and (best is None
+                                                  or score < best[0]):
+                                best = (score, move)
+                    if best is not None:
+                        state.accept(best[1])
+                        worklist.update(
+                            g for g in state.touched_gates(best[1])
+                            if state.movable(g)
+                        )
+                        if checkpointer is not None:
+                            checkpointer.maybe_save(phase, lambda: {
+                                "rounds": rounds,
+                                "queue": list(queue),
+                                "worklist": sorted(worklist),
+                            })
+                if tracer is not None:
+                    span.note(accepted=len(state.accepted) - accepted_before)
+            sink = _progress.ACTIVE
+            if sink is not None:
+                sink.emit("search.round", round=rounds, queue=queue_size,
+                          accepted=len(state.accepted), trials=state.trials,
+                          score=state.score)
+    except KeyboardInterrupt:
+        state.interrupted = True
     return rounds
 
 
 def _anneal(state: _Search, seed: int, initial_temp: float, cooling: float,
-            moves_per_temp: int, anneal_trials: Optional[int]) -> int:
-    """Metropolis annealing over single random moves; returns trials run."""
+            moves_per_temp: int, anneal_trials: Optional[int],
+            checkpointer: Optional[_Checkpointer] = None,
+            resume: Optional[Mapping[str, object]] = None) -> int:
+    """Metropolis annealing over single random moves; returns trials run.
+
+    ``resume`` restores a checkpoint's phase state: the movable-gate
+    list and budget as captured at anneal start (recomputing them from
+    the replayed circuit could diverge — an accepted retemplate can
+    change a gate's configuration count), the step counter, and the
+    exact PCG64 RNG position, so the continued schedule draws the same
+    stream the uninterrupted run would.
+    """
     topo_index = state.cache.topo_index
-    movable = sorted(
-        (name for name in topo_index if state.movable(name)),
-        key=topo_index.__getitem__,
-    )
-    if not movable:
-        return 0
-    rng = stream_rng(seed, f"anneal:{state.circuit.name}")
-    budget = anneal_trials if anneal_trials is not None else 32 * len(movable)
-    steps = 0
-    while steps < budget and not state.out_of_budget():
-        gate_name = movable[int(rng.integers(len(movable)))]
-        moves = enumerate_moves(state.circuit, gate_name, state.retemplate,
-                                state.groups)
-        temperature = initial_temp * cooling ** (steps // moves_per_temp)
-        steps += 1
-        if not moves:
-            continue  # unreachable for movable gates; spends budget anyway
-        move = moves[int(rng.integers(len(moves)))]
-        tracer = _trace.ACTIVE
-        span = (tracer.span("search.trial", gate=gate_name, kind=move.kind,
-                            step=steps)
-                if tracer is not None else _trace.NULL_SPAN)
-        with span:
-            with WhatIf(state.cache) as trial:
-                trial.apply(move.edit)
-                power = trial.power()
-                delay = state.trial_delay()
-                state.trials += 1
-                score = state.objective.score(power, delay, state.power0,
-                                              state.delay0)
-                delta = score - state.score
-                if delta <= 0.0 or (
-                    temperature > 0.0
-                    and rng.random() < math.exp(-delta / temperature)
-                ):
-                    accept = True
-                else:
-                    accept = False
-            if tracer is not None:
-                span.note(accept=accept, delta_score=delta,
-                          temperature=temperature)
-        # Rolled back either way; committing inside the trial would skip
-        # the trace bookkeeping, so accepted moves re-apply for real.
-        if accept:
-            state.accept(move, temperature)
-        sink = _progress.ACTIVE
-        if sink is not None:
-            sink.emit("search.anneal", step=steps, budget=budget,
-                      accepted=len(state.accepted),
-                      temperature=temperature, score=state.score)
+    if resume is not None:
+        movable = list(resume["movable"])
+        if not movable:
+            return int(resume["steps"])
+        rng = stream_rng(seed, f"anneal:{state.circuit.name}")
+        _restore_rng(rng, resume["rng"])
+        budget = int(resume["budget"])
+        steps = int(resume["steps"])
+    else:
+        movable = sorted(
+            (name for name in topo_index if state.movable(name)),
+            key=topo_index.__getitem__,
+        )
+        if not movable:
+            return 0
+        rng = stream_rng(seed, f"anneal:{state.circuit.name}")
+        budget = (anneal_trials if anneal_trials is not None
+                  else 32 * len(movable))
+        steps = 0
+    try:
+        while steps < budget and not state.out_of_budget():
+            _faults.fire("search.step", match=len(state.accepted))
+            gate_name = movable[int(rng.integers(len(movable)))]
+            moves = enumerate_moves(state.circuit, gate_name, state.retemplate,
+                                    state.groups)
+            temperature = initial_temp * cooling ** (steps // moves_per_temp)
+            steps += 1
+            if not moves:
+                continue  # unreachable for movable gates; spends budget anyway
+            move = moves[int(rng.integers(len(moves)))]
+            tracer = _trace.ACTIVE
+            span = (tracer.span("search.trial", gate=gate_name, kind=move.kind,
+                                step=steps)
+                    if tracer is not None else _trace.NULL_SPAN)
+            with span:
+                with WhatIf(state.cache) as trial:
+                    trial.apply(move.edit)
+                    power = trial.power()
+                    delay = state.trial_delay()
+                    state.trials += 1
+                    score = state.objective.score(power, delay, state.power0,
+                                                  state.delay0)
+                    delta = score - state.score
+                    if delta <= 0.0 or (
+                        temperature > 0.0
+                        and rng.random() < math.exp(-delta / temperature)
+                    ):
+                        accept = True
+                    else:
+                        accept = False
+                if tracer is not None:
+                    span.note(accept=accept, delta_score=delta,
+                              temperature=temperature)
+            # Rolled back either way; committing inside the trial would skip
+            # the trace bookkeeping, so accepted moves re-apply for real.
+            if accept:
+                state.accept(move, temperature)
+                if checkpointer is not None:
+                    checkpointer.maybe_save("anneal", lambda: {
+                        "movable": list(movable),
+                        "budget": budget,
+                        "steps": steps,
+                        "rng": _rng_state(rng),
+                    })
+            sink = _progress.ACTIVE
+            if sink is not None:
+                sink.emit("search.anneal", step=steps, budget=budget,
+                          accepted=len(state.accepted),
+                          temperature=temperature, score=state.score)
+    except KeyboardInterrupt:
+        state.interrupted = True
     return steps
 
 
@@ -1198,22 +1412,25 @@ def _structural(state: _Search, families: Sequence[str], nets_k: int) -> int:
             if tracer is not None else _trace.NULL_SPAN)
     with span:
         accepted_before = len(state.accepted)
-        for family in STRUCTURAL_FAMILIES:
-            if family not in requested or state.out_of_budget():
-                continue
-            passes += 1
-            if family == "buffer":
-                moves = _buffer_moves(state, nets_k)
-            elif family == "dup":
-                moves = _dup_moves(state, nets_k)
-            else:
-                moves = _sweep_moves(state)
-            for move in moves:
-                if state.out_of_budget():
-                    break
-                score, _, _ = state.score_structural(move)
-                if score < state.score - _TOL:
-                    state.accept(move)
+        try:
+            for family in STRUCTURAL_FAMILIES:
+                if family not in requested or state.out_of_budget():
+                    continue
+                passes += 1
+                if family == "buffer":
+                    moves = _buffer_moves(state, nets_k)
+                elif family == "dup":
+                    moves = _dup_moves(state, nets_k)
+                else:
+                    moves = _sweep_moves(state)
+                for move in moves:
+                    if state.out_of_budget():
+                        break
+                    score, _, _ = state.score_structural(move)
+                    if score < state.score - _TOL:
+                        state.accept(move)
+        except KeyboardInterrupt:
+            state.interrupted = True
         if tracer is not None:
             span.note(accepted=len(state.accepted) - accepted_before)
     return passes
@@ -1224,7 +1441,13 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
                backend, model, po_load, retemplate, max_trials, max_moves,
                max_rounds, initial_temp, cooling, moves_per_temp,
                anneal_trials, polish, structural, structural_nets,
-               compiled, backend_kwargs) -> SearchResult:
+               compiled, backend_kwargs,
+               checkpoint_path: Optional[str] = None,
+               resume_path: Optional[str] = None,
+               deadline_s: Optional[float] = None,
+               worker_retries: int = 2,
+               fingerprint_params: Optional[Mapping[str, object]] = None,
+               ) -> SearchResult:
     """Fan out CRC-seeded annealing restarts and merge them deterministically.
 
     Every field of the merged result is a pure function of the restart
@@ -1232,6 +1455,17 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
     restart order — so the artifact is byte-identical for any ``jobs``.
     The winner's accepted-move script replays onto a fresh copy to
     produce the returned circuit.
+
+    Restarts are checkpointed at restart granularity: each completed
+    outcome is appended to ``checkpoint_path`` (atomic, checksummed),
+    and ``resume_path`` pre-fills those outcomes so only the missing
+    restarts run.  Outcomes are pure functions of their payloads and
+    floats round-trip JSON exactly, so a resumed merge is byte-identical
+    to an uninterrupted one.  Crashed or hung workers are retried by
+    the supervisor (``worker_retries``, per-attempt ``deadline_s``);
+    restarts still missing at the end are reported in
+    ``result.failures`` and flag the result ``partial`` instead of
+    raising — the anytime path.
     """
     from .eco import resolve_edit
     from .portfolio import run_restarts
@@ -1256,7 +1490,66 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
         "compiled": compiled,
         **backend_kwargs,
     }
-    outcomes = run_restarts(circuit, input_stats, seed, restarts, jobs, params)
+
+    fingerprint = None
+    if checkpoint_path is not None or resume_path is not None:
+        fingerprint = _search_fingerprint(circuit, input_stats,
+                                          fingerprint_params or {})
+    cached: Dict[int, Dict[str, object]] = {}
+    if resume_path is not None:
+        payload = load_checkpoint(resume_path, expect_kind="portfolio")
+        if payload.get("fingerprint") != fingerprint:
+            raise CheckpointError(
+                f"{resume_path}: checkpoint belongs to a different "
+                f"portfolio search (circuit, stimulus or parameters differ)"
+            )
+        if payload.get("restarts") != restarts:
+            raise CheckpointError(
+                f"{resume_path}: checkpoint ran {payload.get('restarts')} "
+                f"restarts, this search asks for {restarts}"
+            )
+        cached = {int(index): outcome
+                  for index, outcome in payload["outcomes"].items()}
+        _RESUMES.inc()
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant("robust.resume", kind="portfolio",
+                           cached=len(cached), restarts=restarts)
+        sink = _progress.ACTIVE
+        if sink is not None:
+            sink.emit("robust.resume", force=True, kind="portfolio",
+                      cached=len(cached), restarts=restarts)
+
+    on_outcome = None
+    if checkpoint_path is not None:
+        def on_outcome(outcomes_so_far: Dict[int, Dict[str, object]]) -> None:
+            tracer = _trace.ACTIVE
+            span = (tracer.span("robust.checkpoint.save", kind="portfolio",
+                                done=len(outcomes_so_far))
+                    if tracer is not None else _trace.NULL_SPAN)
+            with span:
+                save_checkpoint(checkpoint_path, {
+                    "kind": "portfolio",
+                    "fingerprint": fingerprint,
+                    "restarts": restarts,
+                    "outcomes": {
+                        str(index): outcome
+                        for index, outcome in sorted(outcomes_so_far.items())
+                    },
+                })
+            _CHECKPOINTS_SAVED.inc()
+
+    run = run_restarts(circuit, input_stats, seed, restarts, jobs, params,
+                       cached=cached, on_outcome=on_outcome,
+                       deadline_s=deadline_s, retries=worker_retries)
+    outcomes = [entry for entry in run.outcomes if entry is not None]
+    if not outcomes:
+        detail = "; ".join(
+            f"restart {entry['index']}: {entry['error']}"
+            for entry in run.failures
+        ) or "interrupted before any restart finished"
+        raise RuntimeError(f"portfolio search: no restarts completed ({detail})")
+    partial = run.interrupted or bool(run.failures)
     best = min(outcomes, key=lambda entry: (entry["score"], entry["index"]))
     tracer = _trace.ACTIVE
     if tracer is not None:
@@ -1319,6 +1612,13 @@ def _portfolio(circuit: Circuit, input_stats: Mapping[str, SignalStats],
         restarts=summaries,
         restart_index=best["index"],
         jobs=jobs,
+        partial=partial,
+        failures=(
+            [{"index": entry["index"], "status": entry["status"],
+              "error": entry["error"]} for entry in run.failures]
+            if run.failures else None
+        ),
+        interrupted=run.interrupted,
     )
 
 
@@ -1348,6 +1648,11 @@ def search_circuit(
     restarts: Optional[int] = None,
     jobs: int = 1,
     compiled: Optional[bool] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume_path: Optional[str] = None,
+    deadline_s: Optional[float] = None,
+    worker_retries: int = 2,
     **backend_kwargs,
 ) -> SearchResult:
     """Run the delta-driven local search and return the searched circuit.
@@ -1398,6 +1703,25 @@ def search_circuit(
     :meth:`SearchResult.to_artifact` minus ``elapsed_s``/``jobs`` — is
     byte-stable across runs and processes (greedy uses no randomness
     at all; annealing draws from a CRC-stable substream).
+
+    **Fault tolerance** (:mod:`repro.robust`): ``checkpoint_path``
+    snapshots the search state atomically every ``checkpoint_every``
+    accepted moves (default
+    :data:`~repro.robust.checkpoint.DEFAULT_CHECKPOINT_EVERY`), taken
+    only at accept boundaries where both caches are fully flushed;
+    ``resume_path`` restores such a snapshot — replaying the accepted
+    trace onto a fresh copy and continuing mid-phase — with the hard
+    invariant that the resumed run's artifact is **byte-identical** to
+    an uninterrupted one.  Checkpoints cover the greedy/anneal/polish
+    phases; the structural post-pass is not checkpointed (a kill there
+    resumes from the last pre-structural snapshot and redoes it).
+    Portfolio runs checkpoint at restart granularity instead, retry
+    crashed/hung workers (``worker_retries`` attempts beyond the first,
+    per-attempt ``deadline_s`` wall-time budget) and merge whatever
+    completed into a ``partial`` result rather than raising.  SIGTERM
+    or Ctrl-C mid-search returns the best-so-far result flagged
+    ``partial=True`` instead of raising.  Checkpoint/resume need an
+    owned circuit (not a live ``cache=``).
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
@@ -1416,6 +1740,40 @@ def search_circuit(
 
     if restarts is None and jobs != 1:
         restarts = DEFAULT_RESTARTS
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1")
+    if deadline_s is not None and restarts is None:
+        raise ValueError("deadline_s budgets portfolio restart attempts; "
+                         "it needs restarts=/jobs= (portfolio mode)")
+    if (checkpoint_path is not None or resume_path is not None) \
+            and cache is not None:
+        raise TypeError("checkpoint/resume need an owned circuit "
+                        "(circuit/input_stats), not a live cache=")
+    # Everything a checkpoint must agree with to be resumable.  ``jobs``
+    # and ``compiled`` are excluded on purpose: both are guaranteed not
+    # to change results, so resuming across them is legal.
+    fingerprint_params = {
+        "strategy": strategy,
+        "objective": [resolved.name, resolved.power_weight,
+                      resolved.delay_weight],
+        "seed": seed,
+        "retemplate": retemplate,
+        "max_trials": max_trials,
+        "max_moves": max_moves,
+        "max_rounds": max_rounds,
+        "initial_temp": initial_temp,
+        "cooling": cooling,
+        "moves_per_temp": moves_per_temp,
+        "anneal_trials": anneal_trials,
+        "polish": polish,
+        "structural": list(families),
+        "structural_nets": structural_nets,
+        "backend": (backend if isinstance(backend, str)
+                    else getattr(backend, "name", str(backend))),
+        "po_load": po_load,
+        "restarts": restarts,
+        "backend_kwargs": dict(sorted(backend_kwargs.items())),
+    }
     if restarts is not None:
         if strategy != "anneal":
             raise ValueError("portfolio restarts need strategy='anneal' "
@@ -1441,14 +1799,56 @@ def search_circuit(
             polish=polish, structural=structural or None,
             structural_nets=structural_nets, compiled=compiled,
             backend_kwargs=backend_kwargs,
+            checkpoint_path=checkpoint_path, resume_path=resume_path,
+            deadline_s=deadline_s, worker_retries=worker_retries,
+            fingerprint_params=fingerprint_params,
         )
 
     owns_cache = cache is None
+    fingerprint = None
+    resume_payload = None
+    resume_accepted: List[AcceptedMove] = []
     if owns_cache:
         if circuit is None or input_stats is None:
             raise TypeError("search_circuit needs circuit and input_stats "
                             "(or a live cache=)")
+        if checkpoint_path is not None or resume_path is not None:
+            fingerprint = _search_fingerprint(circuit, input_stats,
+                                              fingerprint_params)
         work = circuit.copy()
+        if resume_path is not None:
+            resume_payload = load_checkpoint(resume_path, expect_kind="search")
+            if resume_payload.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"{resume_path}: checkpoint belongs to a different "
+                    f"search (circuit, stimulus or parameters differ)"
+                )
+            # Replay the checkpointed trace onto the fresh copy: the
+            # incremental == from-scratch identity guarantees the
+            # rebuilt caches match the snapshot's flushed state
+            # bit-for-bit.
+            from .eco import resolve_edit
+
+            tracer = _trace.ACTIVE
+            span = (tracer.span("robust.resume.replay",
+                                accepted=len(resume_payload["accepted"]),
+                                phase=resume_payload["phase"])
+                    if tracer is not None else _trace.NULL_SPAN)
+            with span:
+                for move_data in resume_payload["accepted"]:
+                    move = AcceptedMove(**move_data)
+                    resume_accepted.append(move)
+                    entries = (move.entry if isinstance(move.entry, list)
+                               else [move.entry])
+                    for entry in entries:
+                        work.apply_edit(resolve_edit(work, entry))
+            _RESUMES.inc()
+            sink = _progress.ACTIVE
+            if sink is not None:
+                sink.emit("robust.resume", force=True, kind="search",
+                          phase=resume_payload["phase"],
+                          accepted=len(resume_accepted),
+                          trials=resume_payload["trials"])
         if backend == "sampled":
             # One seed drives the whole search: the annealing RNG and
             # the backend's per-input sample substreams.
@@ -1477,7 +1877,6 @@ def search_circuit(
         )
 
     start = time.perf_counter()
-    repropagated_before = cache.gates_repropagated
     # The search's live timing side: shares the stats cache's fanout
     # index and prices every delay read cone-locally (full STA per
     # candidate was the pre-TimingCache behaviour).
@@ -1488,6 +1887,51 @@ def search_circuit(
         state = _Search(cache, timing, resolved, retemplate,
                         max_trials, max_moves,
                         batch_pricing=use_compiled(compiled))
+        if resume_payload is not None:
+            # The replayed caches carry the snapshot's values; restore
+            # the search bookkeeping the caches don't hold — the trace,
+            # the counters, and the *original* baseline (the replayed
+            # circuit's own power/delay are mid-search values).
+            state.accepted = resume_accepted
+            state.trials = int(resume_payload["trials"])
+            state._fresh = int(resume_payload["fresh"])
+            state.power0 = resume_payload["power0"]
+            state.delay0 = resume_payload["delay0"]
+            state.power = resume_payload["power"]
+            state.delay = resume_payload["delay"]
+            state.score = resolved.score(state.power, state.delay,
+                                         state.power0, state.delay0)
+            state.budget_exhausted = bool(resume_payload["budget_exhausted"])
+        # Counter offsets.  Fresh runs keep the historical semantics:
+        # stat re-propagations exclude the cache's initial propagation,
+        # arrival counts include the first full STA.  A resumed run
+        # backdates the offsets against the snapshot's search-relative
+        # counts, so the final values equal an uninterrupted run's.
+        if resume_payload is not None:
+            repropagated_before = (cache.gates_repropagated
+                                   - int(resume_payload["gates_repropagated"]))
+            retimed_before = (timing.gates_retimed
+                              - int(resume_payload["gates_retimed"]))
+        else:
+            repropagated_before = cache.gates_repropagated
+            retimed_before = 0
+        checkpointer = None
+        if checkpoint_path is not None:
+            checkpointer = _Checkpointer(
+                checkpoint_path,
+                (checkpoint_every if checkpoint_every is not None
+                 else DEFAULT_CHECKPOINT_EVERY),
+                state, timing, fingerprint,
+                repropagated_before, retimed_before,
+            )
+        resume_phase = (resume_payload["phase"]
+                        if resume_payload is not None else None)
+        phase_state = (resume_payload["phase_state"]
+                       if resume_payload is not None else None)
+        rounds_prior = (int(resume_payload.get("rounds_prior", 0))
+                        if resume_payload is not None else 0)
+        if checkpointer is not None:
+            checkpointer.rounds_prior = rounds_prior
         rounds = 0
         tracer = _trace.ACTIVE
         span = (tracer.span("search", circuit=cache.circuit.name,
@@ -1497,13 +1941,35 @@ def search_circuit(
                 if tracer is not None else _trace.NULL_SPAN)
         with span:
             if strategy == "greedy":
-                rounds = _greedy(state, max_rounds)
+                rounds = _greedy(
+                    state, max_rounds, checkpointer=checkpointer,
+                    phase="greedy",
+                    resume=phase_state if resume_phase == "greedy" else None)
+            elif resume_phase == "polish":
+                # Annealing completed before the snapshot; only the
+                # polish descent continues.
+                rounds = rounds_prior
+                rounds += _greedy(state, max_rounds,
+                                  checkpointer=checkpointer, phase="polish",
+                                  resume=phase_state)
             else:
-                rounds = _anneal(state, seed, initial_temp, cooling,
-                                 moves_per_temp, anneal_trials)
-                if polish and not state.out_of_budget():
-                    rounds += _greedy(state, max_rounds)
-            if families and not state.out_of_budget():
+                rounds = _anneal(
+                    state, seed, initial_temp, cooling, moves_per_temp,
+                    anneal_trials, checkpointer=checkpointer,
+                    resume=phase_state if resume_phase == "anneal" else None)
+                if polish and not state.out_of_budget() \
+                        and not state.interrupted:
+                    if checkpointer is not None:
+                        checkpointer.rounds_prior = rounds
+                    rounds += _greedy(state, max_rounds,
+                                      checkpointer=checkpointer,
+                                      phase="polish")
+            # The structural post-pass is not checkpointed: its moves
+            # mint fresh gate names and edit connectivity, and it runs
+            # last — a kill here resumes from the final pre-structural
+            # snapshot and redoes the pass.
+            if families and not state.out_of_budget() \
+                    and not state.interrupted:
                 rounds += _structural(state, families, structural_nets)
             if tracer is not None:
                 span.note(trials=state.trials, rounds=rounds,
@@ -1527,13 +1993,15 @@ def search_circuit(
             trials=state.trials,
             rounds=rounds,
             gates_repropagated=cache.gates_repropagated - repropagated_before,
-            gates_retimed=timing.gates_retimed,
+            gates_retimed=timing.gates_retimed - retimed_before,
             strategy=strategy,
             objective=resolved,
             seed=seed,
             backend=cache.backend.name,
             budget_exhausted=state.budget_exhausted,
             elapsed_s=time.perf_counter() - start,
+            partial=state.interrupted,
+            interrupted=state.interrupted,
         )
     finally:
         timing.close()

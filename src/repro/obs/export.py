@@ -111,6 +111,7 @@ def export_chrome_file(path: str, out: Optional[str] = None) -> str:
         separators=(",", ":"),
     ) + "\n"
     if out is not None:
-        with open(out, "w") as handle:
-            handle.write(text)
+        from ..robust.atomic import atomic_write_text
+
+        atomic_write_text(out, text)
     return text

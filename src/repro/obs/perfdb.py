@@ -164,11 +164,11 @@ def append_artifact(
     if isinstance(meta, Mapping):
         entry["meta"] = dict(meta)
     store["entries"].append(entry)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(store, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from ..robust.atomic import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps(store, indent=2, sort_keys=True) + "\n"
+    )
     return entry
 
 

@@ -68,11 +68,12 @@ def merge_file(
     sources = [path] + shards if os.path.exists(path) else list(shards)
     merged = merge_records(RecordReader(source) for source in sources)
     target = out if out is not None else path
-    with open(target, "w") as handle:
-        for record in merged:
-            handle.write(
-                json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-            )
+    from ..robust.atomic import atomic_write_text
+
+    atomic_write_text(target, "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        for record in merged
+    ))
     if out is None and not keep_shards:
         for shard in shards:
             try:

@@ -1,0 +1,68 @@
+"""Crash-safe text-file writes: temp file + fsync + ``os.replace``.
+
+Every JSON artifact the system emits — search/eco/bench artifacts,
+``benchmarks/BASELINE.json``, merged trace files, checkpoints — goes
+through :func:`atomic_write_text`.  The contract: a reader can observe
+either the old content or the new content, never a torn prefix, no
+matter when the writing process dies.
+
+Mechanics: the payload is written to a uniquely named temp file in the
+*target* directory (same filesystem, so the final ``os.replace`` is an
+atomic rename), flushed and fsynced, then renamed over the target.
+The directory is fsynced best-effort afterwards so the rename itself
+survives a power cut on filesystems that need it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str, *, fsync: bool = True) -> None:
+    """Atomically replace ``path``'s content with ``text``.
+
+    Creates missing parent directories.  On any failure the target is
+    left exactly as it was and the temp file is removed best-effort.
+    ``fsync=False`` skips the durability sync (still atomic against
+    process death — the rename only ever exposes complete content —
+    but a machine crash may lose the write); checkpoints and artifacts
+    keep the default.
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_directory(directory)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Best-effort directory fsync (persists the rename entry itself)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -385,6 +385,70 @@ class TestSearchCommand:
         assert f"default {DEFAULT_RESTARTS} when --jobs" in restarts.help
 
 
+class TestRobustCLI:
+    """Checkpoint/resume and supervision flags on search and bench."""
+
+    def write_blif(self, tmp_path):
+        blif = tmp_path / "fa.blif"
+        blif.write_text(FA_BLIF)
+        return str(blif)
+
+    def test_checkpoint_then_resume_is_byte_identical(self, tmp_path):
+        from repro.bench.runner import dumps_artifact, load_artifact, \
+            strip_timing
+
+        blif = self.write_blif(tmp_path)
+        plain, resumed = tmp_path / "plain.json", tmp_path / "resumed.json"
+        ck = tmp_path / "run.ck.json"
+        code, _ = run_cli("search", blif, "--strategy", "anneal",
+                          "--seed", "5", "--anneal-trials", "40",
+                          "--out", str(plain))
+        assert code == 0
+        code, _ = run_cli("search", blif, "--strategy", "anneal",
+                          "--seed", "5", "--anneal-trials", "40",
+                          "--checkpoint", str(ck), "--checkpoint-every", "1",
+                          "--out", str(tmp_path / "ignored.json"))
+        assert code == 0 and ck.exists()
+        code, text = run_cli("search", blif, "--strategy", "anneal",
+                             "--seed", "5", "--anneal-trials", "40",
+                             "--resume", str(ck), "--out", str(resumed))
+        assert code == 0
+        assert dumps_artifact(strip_timing(load_artifact(str(resumed)))) == \
+            dumps_artifact(strip_timing(load_artifact(str(plain))))
+
+    def test_resume_rejects_mismatched_parameters(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        ck = tmp_path / "run.ck.json"
+        run_cli("search", blif, "--strategy", "anneal", "--seed", "5",
+                "--anneal-trials", "40", "--checkpoint", str(ck),
+                "--checkpoint-every", "1",
+                "--out", str(tmp_path / "a.json"))
+        with pytest.raises(SystemExit, match="different search"):
+            run_cli("search", blif, "--strategy", "anneal", "--seed", "6",
+                    "--anneal-trials", "40", "--resume", str(ck),
+                    "--out", str(tmp_path / "b.json"))
+
+    def test_checkpoint_every_requires_checkpoint(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            run_cli("search", blif, "--checkpoint-every", "4")
+
+    def test_deadline_requires_portfolio(self, tmp_path):
+        blif = self.write_blif(tmp_path)
+        with pytest.raises(SystemExit, match="--restarts/--jobs"):
+            run_cli("search", blif, "--deadline", "10")
+
+    def test_search_robust_defaults(self):
+        args = build_parser().parse_args(["search", "x.blif"])
+        assert args.checkpoint is None and args.resume is None
+        assert args.checkpoint_every is None
+        assert args.deadline is None and args.retries == 2
+
+    def test_bench_robust_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.case_timeout is None and args.retries == 2
+
+
 class TestTraceCLI:
     """--trace / REPRO_TRACE plumbing and the trace summarize subcommand."""
 

@@ -1,0 +1,113 @@
+"""Tests for the crash-safe primitives (`repro.robust.atomic` / `.checkpoint`)."""
+
+import json
+import os
+
+import pytest
+
+from repro.robust import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    FaultInjected,
+    atomic_write_text,
+    dumps_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("old")
+        atomic_write_text(str(path), "new\n")
+        assert path.read_text() == "new\n"
+
+    def test_creates_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.json"
+        atomic_write_text(str(path), "x\n")
+        assert path.read_text() == "x\n"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "x\n")
+        assert os.listdir(tmp_path) == ["out.json"]
+
+
+class TestCheckpointContainer:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        payload = {"kind": "search", "accepted": [1, 2, 3], "power": 0.125}
+        save_checkpoint(path, payload)
+        assert load_checkpoint(path) == payload
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        values = [0.1, 1.0 / 3.0, 2.2250738585072014e-308, 1e300]
+        save_checkpoint(path, {"kind": "x", "values": values})
+        assert load_checkpoint(path)["values"] == values
+
+    def test_container_shape(self):
+        text = dumps_checkpoint({"kind": "search"})
+        container = json.loads(text)
+        assert container["schema"] == CHECKPOINT_SCHEMA
+        assert container["payload"] == {"kind": "search"}
+        assert isinstance(container["crc"], int)
+
+    def test_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_checkpoint(str(tmp_path / "nope.json"))
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        save_checkpoint(path, {"kind": "portfolio"})
+        with pytest.raises(CheckpointError, match="kind"):
+            load_checkpoint(path, expect_kind="search")
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        container = json.loads(dumps_checkpoint({"kind": "search"}))
+        container["schema"] = 99
+        (tmp_path / "ck.json").write_text(json.dumps(container))
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path)
+
+    def test_corrupted_payload_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        container = json.loads(dumps_checkpoint({"kind": "search", "n": 1}))
+        container["payload"]["n"] = 2  # CRC now stale
+        (tmp_path / "ck.json").write_text(json.dumps(container))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_non_container_rejected(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        (tmp_path / "ck.json").write_text("[1, 2, 3]\n")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestTornCheckpoint:
+    """The tear-checkpoint fault: a non-atomic writer dying mid-write."""
+
+    @pytest.mark.parametrize("torn_at", [0, 1, 10, 40])
+    def test_torn_file_rejected(self, tmp_path, monkeypatch, torn_at):
+        path = str(tmp_path / "ck.json")
+        monkeypatch.setenv("REPRO_FAULTS", f"tear-checkpoint={torn_at}")
+        with pytest.raises(FaultInjected):
+            save_checkpoint(path, {"kind": "search", "accepted": [1, 2]})
+        assert os.path.exists(path)
+        with pytest.raises((CheckpointError, OSError)):
+            load_checkpoint(path)
+
+    def test_atomic_writer_never_tears(self, tmp_path, monkeypatch):
+        """Without the fault the same payload lands whole."""
+        path = str(tmp_path / "ck.json")
+        payload = {"kind": "search", "accepted": [1, 2]}
+        save_checkpoint(path, payload)
+        assert load_checkpoint(path) == payload

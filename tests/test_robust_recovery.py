@@ -1,0 +1,151 @@
+"""End-to-end recovery: injected faults, supervised retries, partial artifacts."""
+
+import signal
+import warnings
+
+import pytest
+
+from repro.bench.runner import dumps_artifact, run_suite, strip_timing
+from repro.bench.suite import get_case
+from repro.incremental import StatsCache, search_circuit
+from repro.robust import FaultInjected
+from repro.sim.stimulus import ScenarioA
+from repro.synth.mapper import map_circuit
+
+
+@pytest.fixture(scope="module")
+def adder():
+    circuit = map_circuit(get_case("fa1").network())
+    stats = ScenarioA(seed=3).input_stats(circuit.inputs)
+    return circuit, stats
+
+
+def canonical(result):
+    return dumps_artifact(strip_timing(result.to_artifact()))
+
+
+PORTFOLIO = dict(strategy="anneal", restarts=3, jobs=2, anneal_trials=40)
+
+
+class TestPortfolioRecovery:
+    def test_killed_worker_retried_byte_identical(self, adder, tmp_path,
+                                                  monkeypatch):
+        """A SIGKILLed restart is requeued; the artifact doesn't change."""
+        circuit, stats = adder
+        base = canonical(search_circuit(circuit, stats, seed=1, **PORTFOLIO))
+        monkeypatch.setenv("REPRO_FAULTS", "kill-restart=1")
+        monkeypatch.setenv("REPRO_FAULTS_STATE", str(tmp_path))
+        recovered = search_circuit(circuit, stats, seed=1, **PORTFOLIO)
+        assert canonical(recovered) == base
+        assert not recovered.partial
+
+    def test_persistent_crash_yields_partial(self, adder, monkeypatch):
+        """Retries exhausted: merge what completed, flag partial."""
+        circuit, stats = adder
+        monkeypatch.setenv("REPRO_FAULTS", "crash-restart=1")
+        result = search_circuit(circuit, stats, seed=1, worker_retries=1,
+                                **PORTFOLIO)
+        assert result.partial and not result.interrupted
+        assert [f["index"] for f in result.failures] == [1]
+        assert "FaultInjected" in result.failures[0]["error"]
+        artifact = result.to_artifact()
+        assert artifact["partial"] is True
+        assert artifact["portfolio"]["failed"][0]["index"] == 1
+        # The surviving restarts still produced a best state.
+        assert result.power_after <= result.power_before
+
+    def test_clean_artifact_has_no_partial_key(self, adder):
+        circuit, stats = adder
+        result = search_circuit(circuit, stats, seed=1, **PORTFOLIO)
+        artifact = result.to_artifact()
+        assert "partial" not in artifact
+        assert "failed" not in artifact["portfolio"]
+
+    def test_all_restarts_lost_raises(self, adder, monkeypatch):
+        circuit, stats = adder
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "crash-restart=0; crash-restart=1; crash-restart=2")
+        with pytest.raises(RuntimeError, match="no restarts completed"):
+            search_circuit(circuit, stats, seed=1, worker_retries=0,
+                           **PORTFOLIO)
+
+
+class TestCompiledFallback:
+    def test_kernel_failure_falls_back_to_object_path(self, adder,
+                                                      monkeypatch):
+        circuit, stats = adder
+        reference = StatsCache(circuit, stats, compiled=False).total_power()
+        monkeypatch.setenv("REPRO_FAULTS", "raise-kernel=1")
+        from repro.obs.metrics import REGISTRY
+
+        fallbacks = REGISTRY.counter("robust.fallback")
+        before = fallbacks.value
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cache = StatsCache(circuit, stats, compiled=True)
+            power = cache.total_power()
+        assert power == reference  # bit-identical degradation
+        assert fallbacks.value == before + 1
+        assert any("falling back" in str(w.message) for w in caught)
+        # The fallback latches: later refreshes go straight to the
+        # object path, one warning per cache.
+        cache.total_power()
+        assert fallbacks.value == before + 1
+
+    def test_strict_mode_raises(self, adder, monkeypatch):
+        circuit, stats = adder
+        monkeypatch.setenv("REPRO_FAULTS", "raise-kernel=1")
+        monkeypatch.setenv("REPRO_ROBUST_STRICT", "1")
+        with pytest.raises(FaultInjected):
+            StatsCache(circuit, stats, compiled=True).total_power()
+
+
+class TestBenchRecovery:
+    CASES = ["fa1", "c17"]
+
+    def test_error_row_instead_of_abort(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash-case=fa1")
+        artifact = run_suite(cases=self.CASES, scenarios=("A",), jobs=1,
+                             seed=0, retries=0)
+        rows = artifact["results"]
+        assert [r["status"] for r in rows] == ["error", "ok"]
+        assert "FaultInjected" in rows[0]["error"]
+        assert "partial" not in artifact  # the sweep itself completed
+
+    def test_timeout_row(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "sleep-case=fa1:600")
+        artifact = run_suite(cases=self.CASES, scenarios=("A",), jobs=1,
+                             seed=0, retries=0, case_timeout_s=2.0)
+        rows = artifact["results"]
+        assert rows[0]["status"] == "timeout"
+        assert rows[1]["status"] == "ok"
+
+    def test_killed_case_retried_byte_identical(self, tmp_path, monkeypatch):
+        base = run_suite(cases=self.CASES, scenarios=("A",), jobs=2, seed=0)
+        monkeypatch.setenv("REPRO_FAULTS", "kill-case=fa1")
+        monkeypatch.setenv("REPRO_FAULTS_STATE", str(tmp_path))
+        recovered = run_suite(cases=self.CASES, scenarios=("A",), jobs=2,
+                              seed=0)
+        assert dumps_artifact(strip_timing(recovered)) == \
+            dumps_artifact(strip_timing(base))
+
+
+class TestInterruptedSearch:
+    def test_sigterm_mid_search_yields_partial(self, adder, monkeypatch):
+        """The sigterm-search fault stops the run at a chosen step; the
+        result is the best-so-far state flagged partial (the CLI routes
+        SIGTERM through KeyboardInterrupt the same way)."""
+        circuit, stats = adder
+        previous = signal.signal(
+            signal.SIGTERM,
+            lambda signum, frame: (_ for _ in ()).throw(KeyboardInterrupt))
+        try:
+            monkeypatch.setenv("REPRO_FAULTS", "sigterm-search=2")
+            result = search_circuit(circuit, stats, seed=0,
+                                    strategy="greedy")
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        assert result.partial and result.interrupted
+        assert result.to_artifact()["partial"] is True
+        assert len(result.accepted) <= 2
